@@ -1,0 +1,58 @@
+// Command ttdiag-experiments regenerates every table and figure of the
+// paper's evaluation. Without flags it runs the full suite; use -list to see
+// the available experiment IDs and -run to execute a single one.
+//
+// Usage:
+//
+//	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ttdiag/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ttdiag-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ttdiag-experiments", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list the registered experiments and exit")
+		id   = fs.String("run", "", "run a single experiment by ID (default: all)")
+		runs = fs.Int("runs", 100, "Monte-Carlo repetitions per experiment class")
+		seed = fs.Int64("seed", 2007, "master seed for randomised campaigns")
+		out  = fs.String("out", "", "also write the rendered artifacts to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %-10s %s\n", e.ID, e.Ref, e.Title)
+		}
+		return nil
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	p := experiments.Params{Seed: *seed, Runs: *runs, Out: w}
+	if *id != "" {
+		return experiments.Run(*id, p)
+	}
+	return experiments.RunAll(p)
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestSingleCampaign(t *testing.T) {
+	if err := run([]string{"-campaign", "pr", "-runs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllCampaignsSmall(t *testing.T) {
+	if err := run([]string{"-runs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownCampaign(t *testing.T) {
+	if err := run([]string{"-campaign", "nope"}); err == nil {
+		t.Fatal("unknown campaign accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-x"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTranscript(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flight.jsonl")
+	lines := `{"round":0,"slot":1,"payload":"Dw==","valid":[false,true,true,true,true]}
+{"round":0,"slot":2,"payload":"Dw==","valid":[false,true,true,true,true]}
+{"round":0,"slot":3,"payload":"Dw==","valid":[false,true,true,true,true]}
+{"round":0,"slot":4,"payload":"Dw==","valid":[false,true,true,true,true]}
+`
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayCLI(t *testing.T) {
+	path := writeTranscript(t)
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path, "-faulty-only", "-observer", "2", "-ls", "0,1,2,3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayCLIErrors(t *testing.T) {
+	path := writeTranscript(t)
+	cases := [][]string{
+		{},
+		{"-in", "/does/not/exist"},
+		{"-in", path, "-observer", "9"},
+		{"-in", path, "-ls", "zero,one"},
+		{"-bad-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v): expected error", args)
+		}
+	}
+}

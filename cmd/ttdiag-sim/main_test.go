@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestVariants(t *testing.T) {
+	cases := [][]string{
+		{"-burst", "6:3:1", "-rounds", "12", "-quiet"},
+		{"-variant", "membership", "-blind", "1:2:8", "-rounds", "18", "-quiet"},
+		{"-variant", "lowlat", "-burst", "6:3:1", "-rounds", "12", "-quiet"},
+		{"-variant", "ttpc", "-burst", "6:3:1", "-rounds", "12", "-quiet"},
+		{"-malicious", "2", "-rounds", "10", "-quiet"},
+		{"-crash", "3:5", "-rounds", "12", "-p", "4", "-quiet"},
+		{"-scenario", "lightning", "-rounds", "100", "-p", "17", "-quiet"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-variant", "nope"},
+		{"-burst", "garbage"},
+		{"-burst", "1:2"},
+		{"-blind", "x:y:z"},
+		{"-crash", "zzz"},
+		{"-scenario", "hurricane"},
+		{"-not-a-flag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestGanttFlag(t *testing.T) {
+	if err := run([]string{"-burst", "6:3:1", "-crash", "2:10", "-p", "4", "-rounds", "20", "-quiet", "-gantt"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordFlag(t *testing.T) {
+	path := t.TempDir() + "/flight.jsonl"
+	if err := run([]string{"-burst", "6:3:1", "-rounds", "10", "-quiet", "-record", path}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("transcript empty")
+	}
+}

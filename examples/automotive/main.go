@@ -1,0 +1,77 @@
+// Automotive: a mixed-criticality X-by-wire cluster. Node 1 hosts a safety
+// critical function (steer-by-wire), node 2 a safety relevant one (stability
+// control), nodes 3 and 4 non-safety-relevant comfort functions. The
+// penalty/reward algorithm is tuned exactly as in Sec. 9 / Table 2
+// (P = 197, s = 40/6/1, R = 10^6), and the cluster is exposed to the
+// "blinking light" abnormal transient scenario of Table 3: 50 bursts of
+// 10 ms with a 500 ms time to reappearance.
+//
+// The run shows the availability trade-off of Table 4: the SC node is
+// sacrificed after ~0.5 s of abnormal disturbance, the SR node after ~4 s,
+// while the NSR nodes ride out almost the whole scenario — and with
+// immediate isolation the entire vehicle network would have restarted after
+// the very first burst.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ttdiag"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Re-derive the Table 2 tuning from the tolerated-outage budgets.
+	res, err := ttdiag.DeriveTuning(ttdiag.Automotive())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("derived tuning: P=%d, R=%g\n", res.P, float64(res.R))
+	for _, ct := range res.PerClass {
+		fmt.Printf("  %-4s (%s): tolerated outage %-6v -> criticality s=%d\n",
+			ct.Class.Name, ct.Class.Example, ct.Class.Outage, ct.Criticality)
+	}
+
+	eng, runners, err := ttdiag.NewSimulation(ttdiag.SimulationConfig{
+		PR: res.PRConfig(4), // node 1 = SC, node 2 = SR, nodes 3,4 = NSR
+	})
+	if err != nil {
+		return err
+	}
+
+	// The blinking light: periodic electrical instabilities on the bus.
+	scenario := ttdiag.BlinkingLight()
+	eng.Bus().AddDisturbance(scenario.Train(0))
+	fmt.Printf("\ninjecting %q: %d bursts over %v\n\n",
+		scenario.Name, scenario.TotalBursts(), scenario.Span())
+
+	classOf := map[int]string{1: "SC", 2: "SR", 3: "NSR", 4: "NSR"}
+	runners[1].OnOutput = func(out ttdiag.RoundOutput) {
+		for _, iso := range out.Isolated {
+			at := eng.Schedule().RoundStart(out.Round)
+			fmt.Printf("t=%8v: node %d (%s) isolated by the p/r algorithm\n", at, iso, classOf[iso])
+		}
+	}
+
+	// Simulate the full scenario plus one second of calm.
+	rounds := int((scenario.Span() + time.Second) / eng.Schedule().RoundLen())
+	if err := eng.RunRounds(rounds); err != nil {
+		return err
+	}
+
+	fmt.Println("\nfinal penalty counters at node 2 (identical on every node):")
+	pr := runners[2].Protocol().PenaltyReward()
+	for id := 1; id <= 4; id++ {
+		fmt.Printf("  node %d (%s): penalty=%d active=%v\n", id, classOf[id], pr.Penalty(id), pr.IsActive(id))
+	}
+	fmt.Println("\ncompare: with immediate isolation (P=0) every node would have been")
+	fmt.Println("isolated within the first 10 ms burst, restarting the whole vehicle network.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module ttdiag
+
+go 1.22

@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"fmt"
+
+	"ttdiag/internal/core"
+)
+
+// AlphaCount is the count-and-threshold mechanism of Bondavalli et al.
+// ("Threshold-Based Mechanisms to Discriminate Transient from Intermittent
+// Faults"): a per-node score α is incremented by one on every faulty round
+// and decayed multiplicatively on every fault-free round; the node is
+// isolated when α exceeds the threshold. It consumes the same consistent
+// health vectors as the penalty/reward algorithm, so the two filtering
+// policies can be compared head-to-head on identical diagnosis streams.
+type AlphaCount struct {
+	n         int
+	decay     float64
+	threshold float64
+	scores    []float64
+	active    []bool
+}
+
+// NewAlphaCount builds the filter for n nodes. decay must lie in [0, 1]
+// (1 never forgets, 0 forgets immediately); threshold must be positive.
+func NewAlphaCount(n int, decay, threshold float64) (*AlphaCount, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: alpha-count needs n >= 1, got %d", n)
+	}
+	if decay < 0 || decay > 1 {
+		return nil, fmt.Errorf("baseline: alpha-count decay %v out of [0,1]", decay)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("baseline: alpha-count threshold %v must be positive", threshold)
+	}
+	a := &AlphaCount{
+		n:         n,
+		decay:     decay,
+		threshold: threshold,
+		scores:    make([]float64, n+1),
+		active:    make([]bool, n+1),
+	}
+	for j := 1; j <= n; j++ {
+		a.active[j] = true
+	}
+	return a, nil
+}
+
+// Update applies one consistent health vector and returns the nodes newly
+// isolated in this round.
+func (a *AlphaCount) Update(consHV core.Syndrome) ([]int, error) {
+	if consHV.N() != a.n {
+		return nil, fmt.Errorf("baseline: health vector covers %d nodes, want %d", consHV.N(), a.n)
+	}
+	var isolated []int
+	for j := 1; j <= a.n; j++ {
+		if !a.active[j] {
+			continue
+		}
+		if consHV[j] == core.Faulty {
+			a.scores[j]++
+			if a.scores[j] > a.threshold {
+				a.active[j] = false
+				isolated = append(isolated, j)
+			}
+			continue
+		}
+		a.scores[j] *= a.decay
+	}
+	return isolated, nil
+}
+
+// Score returns node j's current α value.
+func (a *AlphaCount) Score(j int) float64 {
+	if j < 1 || j > a.n {
+		return 0
+	}
+	return a.scores[j]
+}
+
+// IsActive reports whether node j is still active.
+func (a *AlphaCount) IsActive(j int) bool {
+	if j < 1 || j > a.n {
+		return false
+	}
+	return a.active[j]
+}
+
+// ImmediatePolicy returns a penalty/reward configuration implementing the
+// immediate-isolation baseline: a node is isolated on its first consistently
+// diagnosed fault (P = 0). Sec. 9 argues that under abnormal transient
+// scenarios this policy isolates every node in the system and forces a full
+// restart.
+func ImmediatePolicy() core.PRConfig {
+	return core.PRConfig{PenaltyThreshold: 0, RewardThreshold: 1}
+}

@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"testing"
+
+	"ttdiag/internal/core"
+)
+
+func TestNewTTPCNodeValidation(t *testing.T) {
+	if _, err := NewTTPCNode(1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewTTPCNode(4, 0); err == nil {
+		t.Error("id=0 accepted")
+	}
+	if _, err := NewTTPCNode(4, 5); err == nil {
+		t.Error("id beyond n accepted")
+	}
+	n, err := NewTTPCNode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Alive() || n.MemberCount() != 4 {
+		t.Fatalf("initial state: alive=%v members=%d", n.Alive(), n.MemberCount())
+	}
+}
+
+func TestTTPCMembersIsACopy(t *testing.T) {
+	n, err := NewTTPCNode(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.Members()
+	m[2] = false
+	if !n.Members()[2] {
+		t.Fatal("Members leaked internal storage")
+	}
+}
+
+func TestNewAlphaCountValidation(t *testing.T) {
+	for _, tt := range []struct {
+		name             string
+		n                int
+		decay, threshold float64
+		wantErr          bool
+	}{
+		{name: "ok", n: 4, decay: 0.9, threshold: 3},
+		{name: "bad_n", n: 0, decay: 0.9, threshold: 3, wantErr: true},
+		{name: "bad_decay_low", n: 4, decay: -0.1, threshold: 3, wantErr: true},
+		{name: "bad_decay_high", n: 4, decay: 1.1, threshold: 3, wantErr: true},
+		{name: "bad_threshold", n: 4, decay: 0.9, threshold: 0, wantErr: true},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewAlphaCount(tt.n, tt.decay, tt.threshold)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func alphaHV(n int, faulty ...int) core.Syndrome {
+	s := core.NewSyndrome(n, core.Healthy)
+	for _, f := range faulty {
+		s[f] = core.Faulty
+	}
+	return s
+}
+
+func TestAlphaCountAccumulatesAndIsolates(t *testing.T) {
+	a, err := NewAlphaCount(4, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		iso, err := a.Update(alphaHV(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(iso) != 0 {
+			t.Fatalf("early isolation at step %d", i)
+		}
+	}
+	iso, err := a.Update(alphaHV(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iso) != 1 || iso[0] != 2 {
+		t.Fatalf("isolated = %v, want [2]", iso)
+	}
+	if a.IsActive(2) {
+		t.Fatal("node 2 still active")
+	}
+}
+
+func TestAlphaCountDecay(t *testing.T) {
+	a, err := NewAlphaCount(4, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Update(alphaHV(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Update(alphaHV(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Score(1); got != 2 {
+		t.Fatalf("score = %v, want 2", got)
+	}
+	if _, err := a.Update(alphaHV(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Score(1); got != 1 {
+		t.Fatalf("score after decay = %v, want 1", got)
+	}
+	// Unlike the reward counter, the α score decays gradually rather than
+	// resetting after R clean rounds.
+	for i := 0; i < 10; i++ {
+		if _, err := a.Update(alphaHV(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Score(1); got <= 0 || got >= 0.01 {
+		t.Fatalf("score after long decay = %v", got)
+	}
+}
+
+func TestAlphaCountSizeMismatch(t *testing.T) {
+	a, err := NewAlphaCount(4, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Update(alphaHV(5)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestAlphaCountAccessorsOutOfRange(t *testing.T) {
+	a, err := NewAlphaCount(4, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score(0) != 0 || a.Score(5) != 0 {
+		t.Error("out-of-range score non-zero")
+	}
+	if a.IsActive(0) || a.IsActive(5) {
+		t.Error("out-of-range node active")
+	}
+}
+
+func TestImmediatePolicy(t *testing.T) {
+	cfg := ImmediatePolicy()
+	pr, err := core.NewPenaltyReward(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, _, err := pr.Update(alphaHV(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iso) != 1 || iso[0] != 3 {
+		t.Fatalf("immediate policy isolated %v on first fault, want [3]", iso)
+	}
+}

@@ -1,0 +1,147 @@
+// Package baseline implements the comparators the paper positions itself
+// against: a TTP/C-style built-in membership protocol with the single-fault
+// assumption and clique-avoidance counters (Kopetz et al.; Bauer &
+// Paulitsch), the α-count fault-rate discriminator (Bondavalli et al.), and
+// an immediate-isolation policy. Experiments use these to reproduce the
+// paper's comparative claims: the add-on protocol tolerates multiple
+// coincident and malicious faults where TTP/C-style membership does not, and
+// the criticality-weighted penalty/reward algorithm preserves availability
+// where immediate isolation shuts the whole system down.
+package baseline
+
+import (
+	"fmt"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/tdma"
+)
+
+// TTPCNode is a simplified TTP/C-style membership controller. Every frame
+// implicitly acknowledges the sender's membership view (the C-state): a
+// receiver accepts a frame iff it is locally valid and carries a membership
+// vector identical to the receiver's own; otherwise the sender is dropped
+// from the receiver's view. Clique avoidance: before sending, a node checks
+// whether it agreed with a majority of the frames since its last slot and
+// fails silent otherwise. A sender whose own frame does not make it onto the
+// bus (collision detector) also fails silent.
+//
+// The protocol diagnoses a single benign sender fault within two slots, but
+// relies on the single-fault assumption: under coincident or malicious
+// faults its views diverge or healthy nodes kill themselves — exactly the
+// comparison of Sec. 2.
+type TTPCNode struct {
+	n, id  int
+	member []bool
+	agreed int
+	failed int
+	alive  bool
+}
+
+// NewTTPCNode builds the membership controller for node id of n.
+func NewTTPCNode(n, id int) (*TTPCNode, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("baseline: need at least 2 nodes, got %d", n)
+	}
+	if id < 1 || id > n {
+		return nil, fmt.Errorf("baseline: node id %d out of range 1..%d", id, n)
+	}
+	m := make([]bool, n+1)
+	for j := 1; j <= n; j++ {
+		m[j] = true
+	}
+	return &TTPCNode{n: n, id: id, member: m, alive: true}, nil
+}
+
+// Alive reports whether the node is still active (has not failed silent).
+func (t *TTPCNode) Alive() bool { return t.alive }
+
+// Members returns a copy of the node's current membership view (1-based).
+func (t *TTPCNode) Members() []bool { return append([]bool(nil), t.member...) }
+
+// MemberCount returns the size of the current view.
+func (t *TTPCNode) MemberCount() int {
+	c := 0
+	for j := 1; j <= t.n; j++ {
+		if t.member[j] {
+			c++
+		}
+	}
+	return c
+}
+
+// vector encodes the node's membership view as a syndrome (member = 1).
+func (t *TTPCNode) vector() core.Syndrome {
+	s := core.NewSyndrome(t.n, core.Faulty)
+	for j := 1; j <= t.n; j++ {
+		if t.member[j] {
+			s[j] = core.Healthy
+		}
+	}
+	return s
+}
+
+// Run implements the sim engine's Runner: it is scheduled right before the
+// node's own slot. It performs the clique-avoidance check and stages the
+// node's membership vector (the C-state carried by every frame).
+func (t *TTPCNode) Run(_ int, _ *tdma.Controller) ([]byte, error) {
+	if !t.alive {
+		// A fail-silent node stages an empty frame, which every receiver's
+		// local error detection rejects.
+		return []byte{}, nil
+	}
+	// Clique avoidance: the node must have agreed with a majority of the
+	// frames it judged since its last sending slot.
+	if t.agreed+t.failed > 0 && t.failed >= t.agreed {
+		t.kill()
+		return []byte{}, nil
+	}
+	t.agreed, t.failed = 0, 0
+	return t.vector().Encode(), nil
+}
+
+// OnSlotComplete implements the sim engine's SlotObserver: judge the frame
+// of the completed slot.
+func (t *TTPCNode) OnSlotComplete(round, slot int, ctrl *tdma.Controller) error {
+	if !t.alive {
+		return nil
+	}
+	if slot == t.id {
+		// Sender-side check: a collision means the node's frame did not
+		// reach the bus; under the single-fault assumption the sender
+		// concludes it is the faulty one and fails silent (it would restart
+		// and reintegrate in a real system).
+		if collided, ok := ctrl.Collision(round); ok && collided {
+			t.kill()
+		}
+		return nil
+	}
+	if !t.member[slot] {
+		return nil
+	}
+	payload, valid := ctrl.ReadValue(tdma.NodeID(slot))
+	if !valid {
+		t.member[slot] = false
+		t.failed++
+		return nil
+	}
+	carried, err := core.DecodeSyndrome(payload, t.n)
+	if err != nil {
+		t.member[slot] = false
+		t.failed++
+		return nil
+	}
+	// Implicit acknowledgment: the frame validates only against an
+	// identical membership view.
+	if !carried.Equal(t.vector()) {
+		t.member[slot] = false
+		t.failed++
+		return nil
+	}
+	t.agreed++
+	return nil
+}
+
+func (t *TTPCNode) kill() {
+	t.alive = false
+	t.member[t.id] = false
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"testing"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/tdma"
+)
+
+// ttpcHarness drives one TTPCNode's observer side by hand: it owns the
+// node's controller and plays deliveries into it.
+type ttpcHarness struct {
+	t    *testing.T
+	node *TTPCNode
+	ctrl *tdma.Controller
+}
+
+func newTTPCHarness(t *testing.T, id int) *ttpcHarness {
+	t.Helper()
+	node, err := NewTTPCNode(4, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := tdma.NewController(tdma.NodeID(id), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ttpcHarness{t: t, node: node, ctrl: ctrl}
+}
+
+// stage runs the node's pre-slot job and returns the staged C-state frame.
+func (h *ttpcHarness) stage(round int) []byte {
+	h.t.Helper()
+	payload, err := h.node.Run(round, h.ctrl)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return payload
+}
+
+// deliver plays a frame from sender into the node's controller and judges it.
+func (h *ttpcHarness) deliver(round, slot int, payload []byte, valid bool) {
+	h.t.Helper()
+	h.ctrl.ApplyDelivery(tdma.NodeID(slot), tdma.Delivery{Valid: valid, Payload: payload})
+	if err := h.node.OnSlotComplete(round, slot, h.ctrl); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// fullVector is the C-state of a node that still sees everyone.
+func fullVector(t *testing.T) []byte {
+	t.Helper()
+	s := core.NewSyndrome(4, core.Healthy)
+	return s.Encode()
+}
+
+func TestTTPCAcceptsMatchingCState(t *testing.T) {
+	h := newTTPCHarness(t, 1)
+	h.stage(0)
+	for slot := 2; slot <= 4; slot++ {
+		h.deliver(0, slot, fullVector(t), true)
+	}
+	if !h.node.Alive() || h.node.MemberCount() != 4 {
+		t.Fatalf("state after clean round: alive=%v members=%d", h.node.Alive(), h.node.MemberCount())
+	}
+	// Next round's clique-avoidance check passes (3 agreed, 0 failed).
+	if got := h.stage(1); got == nil || len(got) == 0 {
+		t.Fatal("node stopped staging frames after a clean round")
+	}
+}
+
+func TestTTPCDropsInvalidSender(t *testing.T) {
+	h := newTTPCHarness(t, 1)
+	h.stage(0)
+	h.deliver(0, 2, nil, false)
+	if h.node.Members()[2] {
+		t.Fatal("invalid sender kept in membership")
+	}
+	// Unknown/undecodable frames count as failed too.
+	h.deliver(0, 3, []byte{1, 2, 3}, true)
+	if h.node.Members()[3] {
+		t.Fatal("undecodable frame accepted")
+	}
+}
+
+func TestTTPCDropsMismatchedCState(t *testing.T) {
+	h := newTTPCHarness(t, 1)
+	h.stage(0)
+	// Node 2 claims a different membership (without node 4): implicit
+	// acknowledgment fails.
+	divergent := core.NewSyndrome(4, core.Healthy)
+	divergent[4] = core.Faulty
+	h.deliver(0, 2, divergent.Encode(), true)
+	if h.node.Members()[2] {
+		t.Fatal("mismatched C-state accepted")
+	}
+}
+
+func TestTTPCCliqueAvoidanceSelfKill(t *testing.T) {
+	h := newTTPCHarness(t, 1)
+	h.stage(0)
+	// Two failed judgements vs one agreed: failed >= agreed at the next
+	// sending slot -> the node fails silent.
+	h.deliver(0, 2, nil, false)
+	h.deliver(0, 3, nil, false)
+	h.deliver(0, 4, fullVector(t), true)
+	payload := h.stage(1)
+	if h.node.Alive() {
+		t.Fatal("node survived clique avoidance with failed >= agreed")
+	}
+	// A fail-silent node stages an empty (locally detectable) frame.
+	if len(payload) != 0 {
+		t.Fatalf("dead node staged %v", payload)
+	}
+	// Dead nodes ignore further traffic without crashing.
+	h.deliver(1, 2, fullVector(t), true)
+	if h.node.Alive() {
+		t.Fatal("dead node resurrected")
+	}
+}
+
+func TestTTPCSenderSelfCheckOnCollision(t *testing.T) {
+	h := newTTPCHarness(t, 2)
+	h.stage(0)
+	// The node's own slot collides: the sender concludes it is faulty.
+	h.ctrl.RecordCollision(0, true)
+	if err := h.node.OnSlotComplete(0, 2, h.ctrl); err != nil {
+		t.Fatal(err)
+	}
+	if h.node.Alive() {
+		t.Fatal("sender survived its own collision")
+	}
+	if h.node.Members()[2] {
+		t.Fatal("dead sender still in its own membership")
+	}
+}
+
+func TestTTPCIgnoresNonMembers(t *testing.T) {
+	h := newTTPCHarness(t, 1)
+	h.stage(0)
+	h.deliver(0, 2, nil, false) // drop node 2
+	// Further frames from node 2 are ignored (no counter churn, no panic).
+	h.deliver(1, 2, fullVector(t), true)
+	if h.node.Members()[2] {
+		t.Fatal("non-member re-admitted implicitly")
+	}
+}

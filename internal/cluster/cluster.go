@@ -1,0 +1,449 @@
+// Package cluster is the concurrent runtime: one goroutine per node, a
+// channel-based TDMA bus, and a virtual-time coordinator. It demonstrates
+// the paper's deployment model — the diagnostic job as an add-on
+// application-level module on each host — while remaining deterministic:
+// the coordinator walks the global communication schedule and synchronises
+// with the node goroutines at slot and job boundaries, so a run produces
+// bit-identical protocol state to the lock-step engine (asserted by the
+// equivalence tests).
+//
+// Each node goroutine confines its communication controller and protocol
+// instance; all interaction happens by message passing (share memory by
+// communicating). Deliveries of one slot are fanned out to all node
+// goroutines concurrently and joined before the next schedule event.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/lowlat"
+	"ttdiag/internal/sim"
+	"ttdiag/internal/tdma"
+	"ttdiag/internal/trace"
+)
+
+// Config mirrors sim.ClusterConfig for the concurrent runtime.
+type Config = sim.ClusterConfig
+
+// command messages sent from the coordinator to a node goroutine.
+type (
+	deliverCmd struct {
+		sender    tdma.NodeID
+		round     int
+		slot      int
+		delivery  tdma.Delivery
+		collision bool // meaningful only at the sender itself
+		reply     chan<- error
+	}
+	snapshotCmd struct {
+		round int
+		done  chan<- struct{}
+	}
+	jobCmd struct {
+		round int
+		reply chan<- jobReply
+	}
+	stopCmd struct{}
+)
+
+type jobReply struct {
+	payload []byte
+	output  core.RoundOutput
+	err     error
+}
+
+// nodeProc is one node's goroutine plus its mailbox. The runner, controller
+// and all protocol state are confined to the goroutine; the coordinator only
+// talks to it through the mailbox (share memory by communicating).
+type nodeProc struct {
+	id     tdma.NodeID
+	l      int
+	inbox  chan any
+	done   chan struct{}
+	runner sim.Runner
+	ctrl   *tdma.Controller
+}
+
+func (np *nodeProc) loop() {
+	defer close(np.done)
+	for msg := range np.inbox {
+		switch m := msg.(type) {
+		case deliverCmd:
+			if m.sender == np.id {
+				np.ctrl.RecordCollision(m.round, m.collision)
+				if m.collision {
+					np.ctrl.ApplyDelivery(m.sender, tdma.Delivery{})
+				} else {
+					np.ctrl.ApplyDelivery(m.sender, m.delivery)
+				}
+			} else {
+				np.ctrl.ApplyDelivery(m.sender, m.delivery)
+			}
+			var err error
+			if so, ok := np.runner.(sim.SlotObserver); ok {
+				err = so.OnSlotComplete(m.round, m.slot, np.ctrl)
+			}
+			m.reply <- err
+		case snapshotCmd:
+			if st, ok := np.runner.(sim.SnapshotTaker); ok {
+				st.CaptureSnapshot(m.round, np.ctrl)
+			}
+			m.done <- struct{}{}
+		case jobCmd:
+			payload, err := np.runner.Run(m.round, np.ctrl)
+			rep := jobReply{payload: payload, err: err}
+			if dr, ok := np.runner.(*sim.DiagRunner); ok {
+				rep.output = dr.Last()
+			}
+			m.reply <- rep
+		case stopCmd:
+			return
+		}
+	}
+}
+
+// Cluster is the concurrent protocol cluster.
+type Cluster struct {
+	cfg   Config
+	sched *tdma.Schedule
+	dist  tdma.Disturbances
+	nodes []*nodeProc // 1-based
+	// outbox mirrors each node's staged interface value at the coordinator
+	// (the value its controller would transmit next).
+	outbox  [][]byte
+	last    []core.RoundOutput
+	round   int
+	sink    trace.Sink
+	stopped bool
+	mu      sync.Mutex
+}
+
+// New builds and starts the cluster; Close must be called to stop the node
+// goroutines.
+func New(cfg Config) (*Cluster, error) {
+	cfg, err := Normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := newSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sink := cfg.Sink
+	if sink == nil {
+		sink = trace.Discard{}
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		sched:  sched,
+		nodes:  make([]*nodeProc, cfg.N+1),
+		outbox: make([][]byte, cfg.N+1),
+		last:   make([]core.RoundOutput, cfg.N+1),
+		sink:   sink,
+	}
+	initial := core.NewSyndrome(cfg.N, core.Healthy).Encode()
+	for id := 1; id <= cfg.N; id++ {
+		runner, err := sim.NewDiagRunner(NodeConfig(cfg, id))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := c.startNode(id, cfg.Ls[id-1], runner, initial); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// NewWithRunners builds a concurrent cluster over caller-supplied runners
+// (one per node, 1-based positions in ls). The caller keeps the typed runner
+// references; their state may be inspected between RunRound calls (the
+// mailbox rendezvous establishes the necessary happens-before edges).
+func NewWithRunners(cfg Config, runners []sim.Runner, ls []int) (*Cluster, error) {
+	cfg, err := Normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(runners) != cfg.N+1 {
+		return nil, fmt.Errorf("cluster: runners has %d entries, want %d (1-based)", len(runners), cfg.N+1)
+	}
+	if len(ls) != cfg.N {
+		return nil, fmt.Errorf("cluster: ls has %d entries, want %d", len(ls), cfg.N)
+	}
+	sched, err := newSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sink := cfg.Sink
+	if sink == nil {
+		sink = trace.Discard{}
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		sched:  sched,
+		nodes:  make([]*nodeProc, cfg.N+1),
+		outbox: make([][]byte, cfg.N+1),
+		last:   make([]core.RoundOutput, cfg.N+1),
+		sink:   sink,
+	}
+	initial := core.NewSyndrome(cfg.N, core.Healthy).Encode()
+	for id := 1; id <= cfg.N; id++ {
+		if runners[id] == nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: runner %d is nil", id)
+		}
+		if ls[id-1] < 0 || ls[id-1] > cfg.N-1 {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d position %d out of range", id, ls[id-1])
+		}
+		if err := c.startNode(id, ls[id-1], runners[id], initial); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// NewMembershipCluster builds a concurrent cluster of membership services
+// and returns the typed runners for view inspection.
+func NewMembershipCluster(cfg Config) (*Cluster, []*sim.MembershipRunner, error) {
+	cfg, err := Normalize(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	runners := make([]sim.Runner, cfg.N+1)
+	typed := make([]*sim.MembershipRunner, cfg.N+1)
+	for id := 1; id <= cfg.N; id++ {
+		nodeCfg := NodeConfig(cfg, id)
+		nodeCfg.Mode = core.ModeMembership
+		r, err := sim.NewMembershipRunner(nodeCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		runners[id], typed[id] = r, r
+	}
+	cl, err := NewWithRunners(cfg, runners, cfg.Ls)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, typed, nil
+}
+
+// NewLowLatCluster builds a concurrent cluster of the constrained
+// system-level variant (per-slot analysis inside every node goroutine).
+func NewLowLatCluster(cfg Config) (*Cluster, []*sim.LowLatRunner, error) {
+	cfg, err := Normalize(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	runners := make([]sim.Runner, cfg.N+1)
+	typed := make([]*sim.LowLatRunner, cfg.N+1)
+	ls := make([]int, cfg.N)
+	for id := 1; id <= cfg.N; id++ {
+		r, err := sim.NewLowLatRunner(lowlatConfig(cfg, id))
+		if err != nil {
+			return nil, nil, err
+		}
+		runners[id], typed[id] = r, r
+		ls[id-1] = id - 1 // constrained: stage right before the own slot
+	}
+	cl, err := NewWithRunners(cfg, runners, ls)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, typed, nil
+}
+
+func lowlatConfig(cfg Config, id int) lowlat.Config {
+	return lowlat.Config{N: cfg.N, ID: id, Mode: cfg.Mode, PR: cfg.PR}
+}
+
+// newSchedule builds the TDMA schedule (uniform or per-slot) for the
+// concurrent runtime, mirroring the lock-step engine's rules.
+func newSchedule(cfg Config) (*tdma.Schedule, error) {
+	if len(cfg.SlotLens) > 0 {
+		if len(cfg.SlotLens) != cfg.N {
+			return nil, fmt.Errorf("cluster: SlotLens has %d entries, want %d", len(cfg.SlotLens), cfg.N)
+		}
+		return tdma.NewCustomSchedule(cfg.SlotLens)
+	}
+	return tdma.NewSchedule(cfg.N, cfg.RoundLen)
+}
+
+// startNode spawns one node goroutine.
+func (c *Cluster) startNode(id, l int, runner sim.Runner, initial []byte) error {
+	ctrl, err := tdma.NewController(tdma.NodeID(id), c.cfg.N)
+	if err != nil {
+		return err
+	}
+	np := &nodeProc{
+		id:     tdma.NodeID(id),
+		l:      l,
+		inbox:  make(chan any),
+		done:   make(chan struct{}),
+		runner: runner,
+		ctrl:   ctrl,
+	}
+	c.nodes[id] = np
+	c.outbox[id] = initial
+	go np.loop()
+	return nil
+}
+
+// Normalize applies the same defaulting rules as the lock-step engine so
+// that both runtimes accept identical configurations.
+func Normalize(cfg Config) (Config, error) {
+	return sim.NormalizeConfig(cfg)
+}
+
+// NodeConfig derives node id's protocol configuration, identical to the
+// lock-step engine's derivation.
+func NodeConfig(cfg Config, id int) core.Config {
+	return sim.NodeConfig(cfg, id)
+}
+
+// AddDisturbance appends a disturbance to the virtual bus.
+func (c *Cluster) AddDisturbance(d tdma.Disturbance) { c.dist = append(c.dist, d) }
+
+// Round returns the next round to execute.
+func (c *Cluster) Round() int { return c.round }
+
+// Schedule returns the cluster's global communication schedule.
+func (c *Cluster) Schedule() *tdma.Schedule { return c.sched }
+
+// Last returns the most recent round output of node id.
+func (c *Cluster) Last(id int) core.RoundOutput {
+	if id < 1 || id >= len(c.last) {
+		return core.RoundOutput{}
+	}
+	return c.last[id]
+}
+
+// RunRound drives the cluster through one TDMA round.
+func (c *Cluster) RunRound() error {
+	if c.stopped {
+		return fmt.Errorf("cluster: already closed")
+	}
+	k := c.round
+	n := c.cfg.N
+	// Round-start snapshots for dynamically scheduled / snapshotting nodes.
+	snapDone := make(chan struct{}, n)
+	for id := 1; id <= n; id++ {
+		c.nodes[id].inbox <- snapshotCmd{round: k, done: snapDone}
+	}
+	for id := 1; id <= n; id++ {
+		<-snapDone
+	}
+	for pos := 0; pos <= n; pos++ {
+		// Node jobs scheduled at this position (concurrently, then join).
+		replies := make(map[int]chan jobReply)
+		for id := 1; id <= n; id++ {
+			if c.nodes[id].l != pos {
+				continue
+			}
+			ch := make(chan jobReply, 1)
+			replies[id] = ch
+			c.nodes[id].inbox <- jobCmd{round: k, reply: ch}
+		}
+		for id := 1; id <= n; id++ {
+			ch, ok := replies[id]
+			if !ok {
+				continue
+			}
+			rep := <-ch
+			if rep.err != nil {
+				return fmt.Errorf("cluster: round %d node %d: %w", k, id, rep.err)
+			}
+			if rep.payload != nil {
+				c.outbox[id] = rep.payload
+			}
+			c.last[id] = rep.output
+			c.sink.Record(trace.Event{
+				At: c.sched.RoundStart(k), Round: k, Kind: trace.KindJobRun, Node: id,
+			})
+		}
+		if pos == n {
+			break
+		}
+		if err := c.transmit(k, pos+1); err != nil {
+			return err
+		}
+	}
+	c.round++
+	return nil
+}
+
+// transmit broadcasts one slot: the disturbance chain decides each
+// receiver's delivery, the deliveries are fanned out to all node goroutines
+// concurrently and joined.
+func (c *Cluster) transmit(round, slot int) error {
+	sender := c.sched.SlotOwner(slot)
+	start, end := c.sched.SlotWindow(round, slot)
+	tx := tdma.Transmission{
+		Sender:  sender,
+		Round:   round,
+		Slot:    slot,
+		Start:   start,
+		End:     end,
+		Payload: append([]byte(nil), c.outbox[sender]...),
+	}
+	collision := c.dist.SenderCollision(&tx, false)
+	reply := make(chan error, c.cfg.N)
+	for rcv := 1; rcv <= c.cfg.N; rcv++ {
+		d := tdma.Delivery{Valid: true, Payload: tx.Payload}
+		d = c.dist.Deliver(&tx, tdma.NodeID(rcv), d)
+		if !d.Valid {
+			d.Payload = nil
+		}
+		c.nodes[rcv].inbox <- deliverCmd{
+			sender:    sender,
+			round:     round,
+			slot:      slot,
+			delivery:  d,
+			collision: collision,
+			reply:     reply,
+		}
+	}
+	var firstErr error
+	for rcv := 1; rcv <= c.cfg.N; rcv++ {
+		if err := <-reply; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("cluster: round %d slot %d: %w", round, slot, firstErr)
+	}
+	c.sink.Record(trace.Event{At: start, Round: round, Kind: trace.KindTransmit, Node: int(sender)})
+	return nil
+}
+
+// RunRounds drives the cluster through the given number of rounds.
+func (c *Cluster) RunRounds(count int) error {
+	for i := 0; i < count; i++ {
+		if err := c.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops all node goroutines and waits for them to exit. It is
+// idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	for _, np := range c.nodes {
+		if np == nil {
+			continue
+		}
+		np.inbox <- stopCmd{}
+		<-np.done
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSyndrome checks that decoding never panics and that every
+// successfully decoded syndrome re-encodes to the same bytes (the wire
+// format is canonical).
+func FuzzDecodeSyndrome(f *testing.F) {
+	f.Add([]byte{0xff}, 4)
+	f.Add([]byte{0x00, 0x01}, 9)
+	f.Add([]byte{}, 2)
+	f.Add([]byte{0xaa, 0x55, 0x0f}, 20)
+	f.Fuzz(func(t *testing.T, data []byte, nRaw int) {
+		n := nRaw%128 + 1
+		if n < 0 {
+			n = -n
+		}
+		s, err := DecodeSyndrome(data, n)
+		if err != nil {
+			return
+		}
+		if s.N() != n {
+			t.Fatalf("decoded syndrome covers %d nodes, want %d", s.N(), n)
+		}
+		re := s.Encode()
+		// Canonical form: trailing padding bits beyond n must be zero in
+		// the re-encoding; the original may have had garbage there, so
+		// compare only the meaningful bits by re-decoding.
+		s2, err := DecodeSyndrome(re, n)
+		if err != nil {
+			t.Fatalf("re-decoding failed: %v", err)
+		}
+		if !s.Equal(s2) {
+			t.Fatalf("decode/encode/decode not stable: %v vs %v", s, s2)
+		}
+		if !bytes.Equal(re, s2.Encode()) {
+			t.Fatalf("encoding not canonical after first round trip")
+		}
+	})
+}
+
+// FuzzHMaj checks the voting invariants over arbitrary vote vectors: no
+// panic, a decision iff any vote is non-ε, Faulty only on strict majority.
+func FuzzHMaj(f *testing.F) {
+	f.Add([]byte{0, 1, 2})
+	f.Add([]byte{})
+	f.Add([]byte{2, 2, 2, 2})
+	f.Add([]byte{0, 0, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		votes := make([]Opinion, len(raw))
+		var faulty, healthy int
+		for i, b := range raw {
+			votes[i] = Opinion(b % 3)
+			switch votes[i] {
+			case Faulty:
+				faulty++
+			case Healthy:
+				healthy++
+			}
+		}
+		v, ok := HMaj(votes)
+		if ok != (faulty+healthy > 0) {
+			t.Fatalf("decided=%v with %d non-erased votes", ok, faulty+healthy)
+		}
+		if !ok {
+			return
+		}
+		if v == Faulty && faulty <= healthy {
+			t.Fatalf("convicted without strict majority: %d vs %d", faulty, healthy)
+		}
+		if v == Healthy && faulty > healthy {
+			t.Fatalf("acquitted against strict majority: %d vs %d", faulty, healthy)
+		}
+	})
+}
+
+// FuzzProtocolStep drives a protocol instance with arbitrary (but
+// well-formed) inputs derived from fuzz data: it must never panic and must
+// preserve its internal invariants (health vectors always fully decided
+// after warm-up).
+func FuzzProtocolStep(f *testing.F) {
+	f.Add([]byte{0x00, 0xff, 0x13, 0x37}, uint8(0))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, lRaw uint8) {
+		const n = 4
+		l := int(lRaw) % n
+		p, err := NewProtocol(Config{
+			N: n, ID: 2, L: l, SendCurrRound: l < 2,
+			PR: PRConfig{PenaltyThreshold: 3, RewardThreshold: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := 0
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[pos%len(data)]
+			pos++
+			return b
+		}
+		for round := 0; round < 12; round++ {
+			in := RoundInput{
+				Round:    round,
+				DMs:      make([]Syndrome, n+1),
+				Validity: NewSyndrome(n, Healthy),
+			}
+			for j := 1; j <= n; j++ {
+				b := next()
+				if b&0x80 != 0 {
+					in.Validity[j] = Faulty
+					continue
+				}
+				s := NewSyndrome(n, Healthy)
+				for m := 1; m <= n; m++ {
+					if b&(1<<uint(m)) != 0 {
+						s[m] = Faulty
+					}
+				}
+				in.DMs[j] = s
+			}
+			out, err := p.Step(in)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if round >= 3 && out.ConsHV == nil {
+				t.Fatalf("round %d: no health vector after warm-up", round)
+			}
+			if out.ConsHV != nil {
+				for j := 1; j <= n; j++ {
+					if out.ConsHV[j] != Faulty && out.ConsHV[j] != Healthy {
+						t.Fatalf("round %d: undecided entry %d", round, j)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package core implements the paper's primary contribution: the tunable
+// add-on on-line diagnostic protocol for time-triggered systems (Sec. 5) and
+// the penalty/reward algorithm that filters transient faults (Alg. 2).
+//
+// The protocol is a pure, deterministic state machine: each node runs one
+// diagnostic job per TDMA round (Alg. 1), fed with the validity bits and
+// diagnostic-message payloads its communication controller observed, and
+// produces the payload to disseminate plus — once per round after warm-up —
+// the consistent health vector for the diagnosed round and the resulting
+// isolation decisions. The package has no dependency on the simulation
+// engines, which makes every piece directly unit- and property-testable.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opinion is one node's view on the health of another node in a given round.
+// The numeric values follow the paper's encoding: 0 means the message was
+// not (correctly) received, 1 means it was.
+type Opinion uint8
+
+// Opinion values. Erased is the paper's ε: "the node was not able to receive
+// the local syndrome at all", used only inside diagnostic matrices.
+const (
+	Faulty  Opinion = 0
+	Healthy Opinion = 1
+	Erased  Opinion = 2
+)
+
+// String returns "0", "1" or "e".
+func (o Opinion) String() string {
+	switch o {
+	case Faulty:
+		return "0"
+	case Healthy:
+		return "1"
+	case Erased:
+		return "e"
+	default:
+		return fmt.Sprintf("?%d", uint8(o))
+	}
+}
+
+// Syndrome is a vector of opinions indexed by node ID. Syndromes are 1-based
+// to match the paper's notation: index 0 is unused and always Erased.
+type Syndrome []Opinion
+
+// NewSyndrome returns a syndrome for n nodes with every entry set to fill.
+func NewSyndrome(n int, fill Opinion) Syndrome {
+	s := make(Syndrome, n+1)
+	s[0] = Erased
+	for j := 1; j <= n; j++ {
+		s[j] = fill
+	}
+	return s
+}
+
+// N returns the number of nodes the syndrome covers.
+func (s Syndrome) N() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return len(s) - 1
+}
+
+// Clone returns an independent copy.
+func (s Syndrome) Clone() Syndrome {
+	if s == nil {
+		return nil
+	}
+	return append(Syndrome(nil), s...)
+}
+
+// Equal reports entry-wise equality.
+func (s Syndrome) Equal(t Syndrome) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders entries 1..N, e.g. "1100".
+func (s Syndrome) String() string {
+	var b strings.Builder
+	for j := 1; j <= s.N(); j++ {
+		b.WriteString(s[j].String())
+	}
+	return b.String()
+}
+
+// CountFaulty returns how many entries are Faulty.
+func (s Syndrome) CountFaulty() int {
+	c := 0
+	for j := 1; j <= s.N(); j++ {
+		if s[j] == Faulty {
+			c++
+		}
+	}
+	return c
+}
+
+// EncodedLen returns the wire size in bytes of a syndrome for n nodes: the
+// paper's O(N)-bit diagnostic message (N bits, i.e. ⌈N/8⌉ bytes — 4 bits on
+// the 4-node prototype).
+func EncodedLen(n int) int { return (n + 7) / 8 }
+
+// Encode packs the syndrome into its wire format, one bit per node
+// (LSB-first within each byte), Healthy = 1. Erased entries never occur in a
+// locally formed syndrome; they encode as 0 (faulty) defensively.
+func (s Syndrome) Encode() []byte {
+	n := s.N()
+	out := make([]byte, EncodedLen(n))
+	for j := 1; j <= n; j++ {
+		if s[j] == Healthy {
+			out[(j-1)/8] |= 1 << uint((j-1)%8)
+		}
+	}
+	return out
+}
+
+// DecodeSyndrome unpacks a wire-format syndrome for n nodes. It returns an
+// error when the payload length does not match: such a frame would be
+// locally detectable (syntactically incorrect) and must be treated as ε by
+// the caller.
+func DecodeSyndrome(data []byte, n int) (Syndrome, error) {
+	if len(data) != EncodedLen(n) {
+		return nil, fmt.Errorf("core: syndrome payload is %d bytes, want %d for %d nodes", len(data), EncodedLen(n), n)
+	}
+	s := NewSyndrome(n, Faulty)
+	for j := 1; j <= n; j++ {
+		if data[(j-1)/8]&(1<<uint((j-1)%8)) != 0 {
+			s[j] = Healthy
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpinionString(t *testing.T) {
+	for _, tt := range []struct {
+		o    Opinion
+		want string
+	}{{Faulty, "0"}, {Healthy, "1"}, {Erased, "e"}, {Opinion(9), "?9"}} {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.o, got, tt.want)
+		}
+	}
+}
+
+func TestNewSyndrome(t *testing.T) {
+	s := NewSyndrome(4, Healthy)
+	if s.N() != 4 {
+		t.Fatalf("N() = %d", s.N())
+	}
+	if s[0] != Erased {
+		t.Error("index 0 must be Erased")
+	}
+	for j := 1; j <= 4; j++ {
+		if s[j] != Healthy {
+			t.Errorf("entry %d = %v", j, s[j])
+		}
+	}
+	if got := s.String(); got != "1111" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSyndromeCloneIndependence(t *testing.T) {
+	s := NewSyndrome(4, Healthy)
+	c := s.Clone()
+	c[2] = Faulty
+	if s[2] != Healthy {
+		t.Fatal("Clone shares storage")
+	}
+	if !s.Equal(s.Clone()) {
+		t.Fatal("clone not equal to original")
+	}
+	var nilSyn Syndrome
+	if nilSyn.Clone() != nil {
+		t.Fatal("nil.Clone() != nil")
+	}
+	if nilSyn.N() != 0 {
+		t.Fatal("nil.N() != 0")
+	}
+}
+
+func TestSyndromeEqual(t *testing.T) {
+	a := NewSyndrome(4, Healthy)
+	b := NewSyndrome(4, Healthy)
+	if !a.Equal(b) {
+		t.Fatal("equal syndromes reported unequal")
+	}
+	b[3] = Faulty
+	if a.Equal(b) {
+		t.Fatal("different syndromes reported equal")
+	}
+	if a.Equal(NewSyndrome(5, Healthy)) {
+		t.Fatal("different sizes reported equal")
+	}
+}
+
+func TestSyndromeCountFaulty(t *testing.T) {
+	s := NewSyndrome(5, Healthy)
+	s[2], s[5] = Faulty, Faulty
+	if got := s.CountFaulty(); got != 2 {
+		t.Fatalf("CountFaulty = %d", got)
+	}
+}
+
+func TestEncodedLen(t *testing.T) {
+	for _, tt := range []struct{ n, want int }{{1, 1}, {4, 1}, {8, 1}, {9, 2}, {16, 2}, {17, 3}, {64, 8}} {
+		if got := EncodedLen(tt.n); got != tt.want {
+			t.Errorf("EncodedLen(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(bits uint64, nRaw uint8) bool {
+		n := int(nRaw%63) + 2
+		s := NewSyndrome(n, Faulty)
+		for j := 1; j <= n; j++ {
+			if bits&(1<<uint(j-1)) != 0 {
+				s[j] = Healthy
+			}
+		}
+		enc := s.Encode()
+		if len(enc) != EncodedLen(n) {
+			return false
+		}
+		dec, err := DecodeSyndrome(enc, n)
+		if err != nil {
+			return false
+		}
+		return dec.Equal(s)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeBandwidthIsPaperSize(t *testing.T) {
+	// "In our prototype diagnostic messages were as small as N bits":
+	// the 4-node prototype needs a single byte on the wire.
+	s := NewSyndrome(4, Healthy)
+	if got := len(s.Encode()); got != 1 {
+		t.Fatalf("4-node syndrome encodes to %d bytes, want 1", got)
+	}
+}
+
+func TestDecodeSyndromeLengthMismatch(t *testing.T) {
+	if _, err := DecodeSyndrome([]byte{0, 1}, 4); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if _, err := DecodeSyndrome(nil, 4); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+}
+
+func TestEncodeErasedDefensivelyFaulty(t *testing.T) {
+	s := NewSyndrome(4, Healthy)
+	s[2] = Erased
+	dec, err := DecodeSyndrome(s.Encode(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[2] != Faulty {
+		t.Fatalf("Erased encoded as %v, want Faulty", dec[2])
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ttdiag/internal/rng"
+)
+
+func prMust(t *testing.T, n int, cfg PRConfig) *PenaltyReward {
+	t.Helper()
+	pr, err := NewPenaltyReward(n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func hv(n int, faulty ...int) Syndrome {
+	s := NewSyndrome(n, Healthy)
+	for _, j := range faulty {
+		s[j] = Faulty
+	}
+	return s
+}
+
+func TestPRConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     PRConfig
+		wantErr bool
+	}{
+		{name: "ok_minimal", cfg: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}},
+		{name: "negative_P", cfg: PRConfig{PenaltyThreshold: -1, RewardThreshold: 1}, wantErr: true},
+		{name: "zero_R", cfg: PRConfig{PenaltyThreshold: 1, RewardThreshold: 0}, wantErr: true},
+		{name: "negative_reint", cfg: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1, ReintegrationThreshold: -1}, wantErr: true},
+		{name: "short_criticalities", cfg: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1, Criticalities: []int64{0, 1}}, wantErr: true},
+		{name: "zero_criticality", cfg: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1, Criticalities: []int64{0, 1, 0, 1, 1}}, wantErr: true},
+		{name: "ok_criticalities", cfg: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1, Criticalities: []int64{0, 40, 6, 1, 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate(4)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate: err=%v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPenaltyAccumulationAndIsolation(t *testing.T) {
+	// P = 3: the fourth consecutive faulty round isolates (penalty must
+	// exceed, not reach, the threshold).
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 3, RewardThreshold: 10})
+	for round := 0; round < 3; round++ {
+		iso, _, err := pr.Update(hv(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(iso) != 0 {
+			t.Fatalf("round %d: early isolation %v", round, iso)
+		}
+	}
+	if got := pr.Penalty(2); got != 3 {
+		t.Fatalf("penalty = %d, want 3", got)
+	}
+	iso, _, err := pr.Update(hv(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iso) != 1 || iso[0] != 2 {
+		t.Fatalf("isolated = %v, want [2]", iso)
+	}
+	if pr.IsActive(2) {
+		t.Fatal("node 2 still active")
+	}
+	for _, j := range []int{1, 3, 4} {
+		if !pr.IsActive(j) {
+			t.Fatalf("node %d wrongly isolated", j)
+		}
+	}
+}
+
+func TestCriticalityScalesPenalty(t *testing.T) {
+	// Automotive Table 2 settings: P=197, SC criticality 40 -> isolation at
+	// the 5th faulty round (5*40=200 > 197).
+	pr := prMust(t, 4, PRConfig{
+		PenaltyThreshold: 197,
+		RewardThreshold:  1 << 20,
+		Criticalities:    []int64{0, 40, 6, 1, 1},
+	})
+	rounds := 0
+	for pr.IsActive(1) {
+		if _, _, err := pr.Update(hv(4, 1)); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+	}
+	if rounds != 5 {
+		t.Fatalf("SC node isolated after %d faulty rounds, want 5", rounds)
+	}
+	// NSR node (criticality 1) takes 198 rounds.
+	pr2 := prMust(t, 4, PRConfig{
+		PenaltyThreshold: 197,
+		RewardThreshold:  1 << 20,
+		Criticalities:    []int64{0, 40, 6, 1, 1},
+	})
+	rounds = 0
+	for pr2.IsActive(3) {
+		if _, _, err := pr2.Update(hv(4, 3)); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+	}
+	if rounds != 198 {
+		t.Fatalf("NSR node isolated after %d faulty rounds, want 198", rounds)
+	}
+}
+
+func TestRewardResetsMemory(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 5, RewardThreshold: 3})
+	// Two faults, then three clean rounds: counters reset.
+	for i := 0; i < 2; i++ {
+		if _, _, err := pr.Update(hv(4, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Penalty(1) != 2 {
+		t.Fatalf("penalty = %d", pr.Penalty(1))
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := pr.Update(hv(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Penalty(1) != 0 || pr.Reward(1) != 0 {
+		t.Fatalf("counters not reset: p=%d r=%d", pr.Penalty(1), pr.Reward(1))
+	}
+}
+
+func TestRewardZeroedByNewFault(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 100, RewardThreshold: 5})
+	if _, _, err := pr.Update(hv(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := pr.Update(hv(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Reward(1) != 3 {
+		t.Fatalf("reward = %d, want 3", pr.Reward(1))
+	}
+	if _, _, err := pr.Update(hv(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Reward(1) != 0 {
+		t.Fatalf("reward = %d after new fault, want 0", pr.Reward(1))
+	}
+	if pr.Penalty(1) != 2 {
+		t.Fatalf("penalty = %d, want 2 (faults within R are correlated)", pr.Penalty(1))
+	}
+}
+
+func TestRewardOnlyCountsWithPendingPenalty(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 5, RewardThreshold: 3})
+	for i := 0; i < 10; i++ {
+		if _, _, err := pr.Update(hv(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Reward(1) != 0 {
+		t.Fatalf("reward = %d for a never-faulty node, want 0", pr.Reward(1))
+	}
+}
+
+func TestIsolationIsSticky(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 0, RewardThreshold: 2})
+	if _, _, err := pr.Update(hv(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if pr.IsActive(3) {
+		t.Fatal("node not isolated with P=0")
+	}
+	// Healthy rounds do not reintegrate without the extension.
+	for i := 0; i < 100; i++ {
+		if _, _, err := pr.Update(hv(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.IsActive(3) {
+		t.Fatal("node reintegrated without the extension enabled")
+	}
+}
+
+func TestReintegrationExtension(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 0, RewardThreshold: 2, ReintegrationThreshold: 4})
+	if _, _, err := pr.Update(hv(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if pr.IsActive(3) {
+		t.Fatal("node not isolated")
+	}
+	// A fault during observation resets the observation counter.
+	for i := 0; i < 3; i++ {
+		if _, _, err := pr.Update(hv(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := pr.Update(hv(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var reint []int
+	for i := 0; i < 4; i++ {
+		if pr.IsActive(3) {
+			t.Fatalf("reintegrated after only %d clean rounds", i)
+		}
+		var err error
+		_, reint, err = pr.Update(hv(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !pr.IsActive(3) {
+		t.Fatal("node not reintegrated after threshold clean rounds")
+	}
+	if len(reint) != 1 || reint[0] != 3 {
+		t.Fatalf("reintegrated = %v, want [3]", reint)
+	}
+	if pr.Penalty(3) != 0 || pr.Reward(3) != 0 {
+		t.Fatal("counters not reset on reintegration")
+	}
+}
+
+func TestUpdateSizeMismatch(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 1, RewardThreshold: 1})
+	if _, _, err := pr.Update(NewSyndrome(5, Healthy)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestAccessorsOutOfRange(t *testing.T) {
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 1, RewardThreshold: 1})
+	if pr.IsActive(0) || pr.IsActive(5) {
+		t.Error("out-of-range node reported active")
+	}
+	if pr.Penalty(0) != 0 || pr.Reward(99) != 0 {
+		t.Error("out-of-range counters non-zero")
+	}
+}
+
+func TestNewPenaltyRewardValidation(t *testing.T) {
+	if _, err := NewPenaltyReward(0, PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewPenaltyReward(4, PRConfig{PenaltyThreshold: -1, RewardThreshold: 1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// Property: penalty counters are exceeded (isolation) after exactly
+// ceil((P+1)/s) faulty rounds under continuous faults, matching the Sec. 9
+// tuning rule s_i = ceil(P/p_i).
+func TestIsolationRoundProperty(t *testing.T) {
+	if err := quick.Check(func(pRaw uint16, sRaw uint8) bool {
+		p := int64(pRaw%1000) + 1
+		s := int64(sRaw%50) + 1
+		pr, err := NewPenaltyReward(2, PRConfig{
+			PenaltyThreshold: p,
+			RewardThreshold:  10,
+			Criticalities:    []int64{0, s, 1},
+		})
+		if err != nil {
+			return false
+		}
+		rounds := int64(0)
+		for pr.IsActive(1) {
+			if _, _, err := pr.Update(hv(2, 1)); err != nil {
+				return false
+			}
+			rounds++
+		}
+		want := (p + s) / s // ceil((P+1)/s)
+		return rounds == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: counters never go negative and rewards never exceed R.
+func TestCounterInvariants(t *testing.T) {
+	st := rng.NewStream(3)
+	pr := prMust(t, 4, PRConfig{PenaltyThreshold: 20, RewardThreshold: 7})
+	for i := 0; i < 5000; i++ {
+		v := NewSyndrome(4, Healthy)
+		for j := 1; j <= 4; j++ {
+			if st.Bool(0.3) {
+				v[j] = Faulty
+			}
+		}
+		if _, _, err := pr.Update(v); err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j <= 4; j++ {
+			if pr.Penalty(j) < 0 || pr.Reward(j) < 0 {
+				t.Fatalf("negative counter for node %d", j)
+			}
+			if pr.Reward(j) >= 7 {
+				t.Fatalf("reward %d not reset at threshold", pr.Reward(j))
+			}
+			if pr.IsActive(j) && pr.Penalty(j) > 20 {
+				t.Fatalf("active node %d with penalty %d beyond threshold", j, pr.Penalty(j))
+			}
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package core
+
+import "fmt"
+
+// Mode selects the protocol variant.
+type Mode int
+
+// Protocol variants.
+const (
+	// ModeDiagnostic is the on-line diagnostic protocol of Sec. 5.
+	ModeDiagnostic Mode = iota + 1
+	// ModeMembership is the modified protocol of Sec. 7: the analysis phase
+	// runs before dissemination and nodes whose local syndromes disagree
+	// with the consistent health vector receive minority accusations.
+	ModeMembership
+)
+
+// accusationTTL is how many consecutive dissemination writes carry a minority
+// accusation. With unconstrained node scheduling the syndromes aggregated in
+// one round can have been written in two different rounds (send alignment),
+// so an accusation raised in round k is kept in the outgoing syndrome for two
+// writes to guarantee that every obedient node's matrix sees it — preserving
+// the two-execution liveness bound of Theorem 2 for any schedule.
+const accusationTTL = 2
+
+// accusationSkew is the window (in rounds) after an accusation is raised
+// during which disagreement about the accused entry must not trigger further
+// accusations. With unconstrained scheduling the diagnostic matrices of the
+// transition rounds mix syndromes written before and after the accusation was
+// raised, so honest rows can briefly disagree with an accusation-driven
+// health-vector entry; without this guard those rows would be accused in a
+// cascade. The window covers dissemination (accusationTTL writes) plus the
+// aggregation lag.
+const accusationSkew = accusationTTL + 2
+
+// Config parameterises one node's diagnostic job.
+type Config struct {
+	// N is the number of nodes in the system.
+	N int
+	// ID is this node's 1-based identifier (and sending slot).
+	ID int
+	// L is l_i: the number of sending slots of the current round that have
+	// already been transmitted when this node's diagnostic job executes.
+	// It is determined by the node's internal schedule and lies in [0, N-1].
+	L int
+	// Dynamic enables dynamic node scheduling (Sec. 10): the OS schedules
+	// the diagnostic job at a different position every round. A wandering
+	// *read* point would lose interface values (a variable overwritten
+	// between two reads can never be attributed to the right round), so the
+	// dynamic deployment pins the read point: the middleware snapshots the
+	// interface variables at round start (equivalent to l_i = 0) and the
+	// job may then execute and write at any OS-chosen instant on a fixed
+	// side of the node's sending slot (the SendCurrRound side, which send
+	// alignment needs to be static). Under Dynamic, L is ignored and the
+	// usual L-vs-SendCurrRound consistency check is skipped.
+	Dynamic bool
+	// SendCurrRound is the send_curr_round_i predicate: true iff the
+	// diagnostic job completes before the node's own sending slot, so the
+	// syndrome it writes is transmitted in the same round.
+	SendCurrRound bool
+	// AllSendCurrRound is the global predicate "∀j: send_curr_round_j". When
+	// it holds (and is known at design time), every node writes its current
+	// aligned syndrome and the protocol's detection latency shrinks from
+	// four to three rounds (diagnosed round k-2 instead of k-3).
+	AllSendCurrRound bool
+	// StartRound is the absolute round number of the first Step call.
+	StartRound int
+	// Mode selects the diagnostic or membership variant; the zero value
+	// means ModeDiagnostic.
+	Mode Mode
+	// PR tunes the penalty/reward algorithm.
+	PR PRConfig
+}
+
+// Lag returns the distance between the execution round of a diagnostic job
+// and the round it diagnoses: k-2 under AllSendCurrRound, k-3 otherwise
+// (Lemma 1).
+func (c Config) Lag() int {
+	if c.AllSendCurrRound {
+		return 2
+	}
+	return 3
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("core: need at least 2 nodes, got %d", c.N)
+	}
+	if c.ID < 1 || c.ID > c.N {
+		return fmt.Errorf("core: node id %d out of range 1..%d", c.ID, c.N)
+	}
+	if c.L < 0 || c.L > c.N-1 {
+		return fmt.Errorf("core: l_i = %d out of range 0..%d", c.L, c.N-1)
+	}
+	if c.AllSendCurrRound && !c.SendCurrRound {
+		return fmt.Errorf("core: AllSendCurrRound requires SendCurrRound on every node")
+	}
+	if !c.Dynamic && c.SendCurrRound != (c.L < c.ID) {
+		return fmt.Errorf("core: SendCurrRound=%v inconsistent with l_i=%d and id=%d (job runs %s the node's slot)",
+			c.SendCurrRound, c.L, c.ID, map[bool]string{true: "before", false: "after"}[c.L < c.ID])
+	}
+	if c.Mode != ModeDiagnostic && c.Mode != ModeMembership && c.Mode != 0 {
+		return fmt.Errorf("core: unknown mode %d", c.Mode)
+	}
+	return c.PR.Validate(c.N)
+}
+
+// CollisionFn answers the local collision detector query for this node's own
+// transmission in the given (absolute) round: Faulty when the controller
+// could not read the node's message back from the bus, Healthy otherwise.
+type CollisionFn func(round int) Opinion
+
+// RoundInput carries what the node's communication controller observed when
+// the diagnostic job executes in one round.
+type RoundInput struct {
+	// Round is the absolute round number; it must advance by exactly one
+	// per Step.
+	Round int
+	// DMs[j] is the decoded diagnostic message currently held in interface
+	// variable j (1-based). A nil entry means the validity bit was 0 or the
+	// payload was undecodable — the ε case.
+	DMs []Syndrome
+	// Validity[j] is the validity bit of interface variable j as an
+	// Opinion: Healthy for 1, Faulty for 0. Under Config.Dynamic the
+	// vectors must come from the round-start snapshot of the interface.
+	Validity Syndrome
+	// Collision resolves self-diagnosis when no external syndrome is
+	// available (Lemma 3). A nil func defaults to Healthy.
+	Collision CollisionFn
+}
+
+// RoundOutput is the result of one diagnostic-job execution.
+type RoundOutput struct {
+	// Round echoes the executed round.
+	Round int
+	// Send is the encoded local syndrome to write into the node's interface
+	// variable (the dissemination payload, N bits).
+	Send []byte
+	// SendSyndrome is the decoded form of Send.
+	SendSyndrome Syndrome
+	// ConsHV is the consistent health vector for DiagnosedRound, or nil
+	// while the protocol pipeline is still warming up.
+	ConsHV Syndrome
+	// DiagnosedRound is the absolute round ConsHV refers to (Round-2 or
+	// Round-3 per Lemma 1); -1 when ConsHV is nil.
+	DiagnosedRound int
+	// Matrix is the diagnostic matrix the analysis voted over (nil during
+	// warm-up). Row ID is the node's own buffered aligned syndrome.
+	Matrix *Matrix
+	// Isolated lists nodes whose activity bit dropped to 0 in this round.
+	Isolated []int
+	// Reintegrated lists nodes returned to service by the optional
+	// reintegration extension.
+	Reintegrated []int
+	// Active is the activity vector after the update (1-based).
+	Active []bool
+	// Accused lists the minority accusations raised in this round
+	// (membership mode only).
+	Accused []int
+}
+
+// Protocol is the per-node diagnostic job state machine (Alg. 1). Create one
+// per node with NewProtocol and call Step exactly once per TDMA round.
+type Protocol struct {
+	cfg   Config
+	pr    *PenaltyReward
+	steps int
+
+	// Buffers for read alignment (Alg. 1 lines 16-17).
+	prevDM []Syndrome
+	prevLS Syndrome
+	// prevAlLS is the aligned local syndrome of the previous round (used by
+	// send alignment, Alg. 1 line 9).
+	prevAlLS Syndrome
+	// lastSent / prevSent are the dissemination payloads of the previous
+	// two rounds; the one physically transmitted in round k-1 is this
+	// node's own row of the diagnostic matrix.
+	lastSent Syndrome
+	prevSent Syndrome
+	// accuse holds the remaining dissemination writes each pending minority
+	// accusation is carried for (membership mode).
+	accuse []int
+	// accusedAge[j] counts the rounds since an accusation against j was last
+	// raised (saturating); it drives the accusationSkew guard.
+	accusedAge []int
+}
+
+// NewProtocol builds the diagnostic job for one node.
+func NewProtocol(cfg Config) (*Protocol, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeDiagnostic
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pr, err := NewPenaltyReward(cfg.N, cfg.PR)
+	if err != nil {
+		return nil, err
+	}
+	p := &Protocol{
+		cfg:        cfg,
+		pr:         pr,
+		prevDM:     make([]Syndrome, cfg.N+1),
+		prevLS:     NewSyndrome(cfg.N, Healthy),
+		prevAlLS:   NewSyndrome(cfg.N, Healthy),
+		lastSent:   NewSyndrome(cfg.N, Healthy),
+		prevSent:   NewSyndrome(cfg.N, Healthy),
+		accuse:     make([]int, cfg.N+1),
+		accusedAge: make([]int, cfg.N+1),
+	}
+	for j := range p.accusedAge {
+		p.accusedAge[j] = accusationSkew + 1
+	}
+	for j := 1; j <= cfg.N; j++ {
+		p.prevDM[j] = NewSyndrome(cfg.N, Healthy)
+	}
+	return p, nil
+}
+
+// Config returns the protocol's configuration.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// PenaltyReward exposes the node's Alg. 2 state for inspection.
+func (p *Protocol) PenaltyReward() *PenaltyReward { return p.pr }
+
+// Step executes the diagnostic job for one round.
+func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
+	n := p.cfg.N
+	if want := p.cfg.StartRound + p.steps; in.Round != want {
+		return RoundOutput{}, fmt.Errorf("core: node %d: Step round %d, want %d", p.cfg.ID, in.Round, want)
+	}
+	if in.Validity.N() != n {
+		return RoundOutput{}, fmt.Errorf("core: node %d: validity vector covers %d nodes, want %d", p.cfg.ID, in.Validity.N(), n)
+	}
+	if len(in.DMs) != n+1 {
+		return RoundOutput{}, fmt.Errorf("core: node %d: DMs has %d entries, want %d", p.cfg.ID, len(in.DMs), n+1)
+	}
+
+	// Phases 1 and 3 — local detection and aggregation (read alignment,
+	// Alg. 1 lines 1-6): entries 1..l_i come from the previous read, the
+	// rest from the current one, so every aligned value refers to a message
+	// sent in round k-1. Under dynamic scheduling the read point is pinned
+	// to round start (l = 0): the inputs come from the middleware's
+	// round-start snapshot, so everything is read from curr.
+	l := p.cfg.L
+	if p.cfg.Dynamic {
+		l = 0
+	}
+	alDM := make([]Syndrome, n+1)
+	alLS := NewSyndrome(n, Healthy)
+	for j := 1; j <= n; j++ {
+		if j <= l {
+			alDM[j] = p.prevDM[j]
+			alLS[j] = p.prevLS[j]
+		} else {
+			alDM[j] = in.DMs[j]
+			alLS[j] = in.Validity[j]
+		}
+	}
+
+	out := RoundOutput{Round: in.Round, DiagnosedRound: -1}
+
+	// Phase 4 — analysis (Alg. 1 lines 11-14). In membership mode this runs
+	// before dissemination so that minority accusations can be added to the
+	// outgoing syndrome; in diagnostic mode the ordering is unobservable.
+	warm := p.steps >= p.cfg.Lag()
+	var matrix *Matrix
+	if warm {
+		matrix = NewMatrix(n)
+		for j := 1; j <= n; j++ {
+			row := alDM[j]
+			if j == p.cfg.ID {
+				// This node's own row is its locally buffered copy of the
+				// syndrome it physically transmitted in round k-1 — available
+				// even when the transmission itself failed (Lemma 3).
+				row = p.ownRow()
+			}
+			if err := matrix.SetRow(j, row); err != nil {
+				return RoundOutput{}, err
+			}
+		}
+		diagRound := in.Round - p.cfg.Lag()
+		consHV := NewSyndrome(n, Healthy)
+		for j := 1; j <= n; j++ {
+			if v, ok := matrix.Vote(j); ok {
+				consHV[j] = v
+				continue
+			}
+			// H-maj returned ⊥: at least N-1 nodes could not send their
+			// syndromes. Only self-diagnosis can be left undecided, and it
+			// falls back to the local collision detector (Alg. 1 line 14).
+			consHV[j] = p.collisionVerdict(in.Collision, diagRound)
+		}
+		out.ConsHV = consHV
+		out.DiagnosedRound = diagRound
+		out.Matrix = matrix
+
+		if p.cfg.Mode == ModeMembership {
+			for j := 1; j <= n; j++ {
+				row := matrix.Row(j)
+				if row == nil || j == p.cfg.ID {
+					continue
+				}
+				if p.disagrees(row, consHV, j) {
+					p.accuse[j] = accusationTTL
+					out.Accused = append(out.Accused, j)
+				}
+			}
+			// Age updates happen after the whole check loop so that every
+			// row is judged against the same guard state.
+			for _, j := range out.Accused {
+				p.accusedAge[j] = 0
+			}
+			// A node that finds itself convicted has (from its own point of
+			// view) been minority-accused: guard its own entry so it does
+			// not counter-accuse rows that still carry the older verdict.
+			if consHV[p.cfg.ID] == Faulty {
+				p.accusedAge[p.cfg.ID] = 0
+			}
+		}
+	}
+
+	// Phase 2 — dissemination (send alignment, Alg. 1 lines 7-10): choose
+	// the syndrome whose transmission round keeps all disseminated
+	// syndromes referring to the same diagnosed round.
+	var outSyn Syndrome
+	switch {
+	case p.cfg.AllSendCurrRound:
+		outSyn = alLS.Clone()
+	case p.cfg.SendCurrRound:
+		outSyn = p.prevAlLS.Clone()
+	default:
+		outSyn = alLS.Clone()
+	}
+	if p.cfg.Mode == ModeMembership {
+		for j := 1; j <= n; j++ {
+			if p.accuse[j] > 0 {
+				outSyn[j] = Faulty
+				p.accuse[j]--
+			}
+		}
+	}
+	out.Send = outSyn.Encode()
+	out.SendSyndrome = outSyn
+
+	// Phase 5 — update counters (Alg. 1 line 15, Alg. 2).
+	if out.ConsHV != nil {
+		iso, reint, err := p.pr.Update(out.ConsHV)
+		if err != nil {
+			return RoundOutput{}, err
+		}
+		out.Isolated = iso
+		out.Reintegrated = reint
+	}
+	out.Active = p.pr.Active()
+
+	// Buffering for the next round (Alg. 1 lines 16-17).
+	for j := 1; j <= n; j++ {
+		p.prevDM[j] = in.DMs[j].Clone()
+	}
+	p.prevLS = in.Validity.Clone()
+	p.prevAlLS = alLS
+	p.prevSent = p.lastSent
+	p.lastSent = outSyn
+	for j := 1; j <= n; j++ {
+		if p.accusedAge[j] <= accusationSkew {
+			p.accusedAge[j]++
+		}
+	}
+	p.steps++
+	return out, nil
+}
+
+// ownRow returns the syndrome this node physically transmitted in the
+// previous round: the last written payload when the node's job runs before
+// its sending slot, and the one before that otherwise (the write of round
+// k-1 is only transmitted in round k).
+func (p *Protocol) ownRow() Syndrome {
+	if p.cfg.SendCurrRound {
+		return p.lastSent
+	}
+	return p.prevSent
+}
+
+func (p *Protocol) collisionVerdict(fn CollisionFn, round int) Opinion {
+	if fn == nil {
+		return Healthy
+	}
+	switch fn(round) {
+	case Faulty:
+		return Faulty
+	default:
+		return Healthy
+	}
+}
+
+// disagrees reports whether row (node j's local syndrome) conflicts with the
+// consistent health vector on any node other than j itself (the diagonal is
+// the unreliable self-opinion and is ignored). Entries whose health-vector
+// value may still be driven by a recent minority accusation are skipped —
+// see accusationSkew.
+func (p *Protocol) disagrees(row, consHV Syndrome, j int) bool {
+	for m := 1; m <= consHV.N(); m++ {
+		if m == j {
+			continue
+		}
+		if p.accusedAge[m] >= 1 && p.accusedAge[m] <= accusationSkew {
+			continue
+		}
+		// The protocol's own entry is guarded as soon as the node sees
+		// itself convicted (it is the accused party and must not
+		// counter-accuse rows carrying the other clique's verdict).
+		if m == p.cfg.ID && consHV[m] == Faulty {
+			continue
+		}
+		if row[m] != consHV[m] {
+			return true
+		}
+	}
+	return false
+}

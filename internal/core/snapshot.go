@@ -1,0 +1,117 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The snapshot DTOs capture every field of the protocol state machine, so a
+// node restarted by its host OS can resume its diagnostic job exactly where
+// it stopped (same buffers, same counters) instead of rejoining with amnesia
+// — the checkpointing hook a production middleware needs.
+
+type protocolSnapshot struct {
+	Config Config           `json:"config"`
+	Steps  int              `json:"steps"`
+	PR     prSnapshot       `json:"pr"`
+	PrevDM map[int]Syndrome `json:"prevDM,omitempty"`
+
+	PrevLS     Syndrome `json:"prevLS"`
+	PrevAlLS   Syndrome `json:"prevAlLS"`
+	LastSent   Syndrome `json:"lastSent"`
+	PrevSent   Syndrome `json:"prevSent"`
+	Accuse     []int    `json:"accuse"`
+	AccusedAge []int    `json:"accusedAge"`
+}
+
+type prSnapshot struct {
+	Penalties []int64 `json:"penalties"`
+	Rewards   []int64 `json:"rewards"`
+	Active    []bool  `json:"active"`
+	Observe   []int64 `json:"observe"`
+}
+
+// Snapshot serialises the protocol's full state (configuration, alignment
+// buffers, accusation state and penalty/reward counters) to JSON.
+func (p *Protocol) Snapshot() ([]byte, error) {
+	snap := protocolSnapshot{
+		Config:     p.cfg,
+		Steps:      p.steps,
+		PrevLS:     p.prevLS,
+		PrevAlLS:   p.prevAlLS,
+		LastSent:   p.lastSent,
+		PrevSent:   p.prevSent,
+		Accuse:     p.accuse,
+		AccusedAge: p.accusedAge,
+		PR: prSnapshot{
+			Penalties: p.pr.penalties,
+			Rewards:   p.pr.rewards,
+			Active:    p.pr.active,
+			Observe:   p.pr.observe,
+		},
+	}
+	snap.PrevDM = make(map[int]Syndrome)
+	for j := 1; j <= p.cfg.N; j++ {
+		if p.prevDM[j] != nil {
+			snap.PrevDM[j] = p.prevDM[j]
+		}
+	}
+	return json.Marshal(snap)
+}
+
+// RestoreProtocol rebuilds a protocol instance from a Snapshot. The restored
+// instance continues at the next round after the snapshot was taken.
+func RestoreProtocol(data []byte) (*Protocol, error) {
+	var snap protocolSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	p, err := NewProtocol(snap.Config)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	n := snap.Config.N
+	check := func(name string, s Syndrome) error {
+		if s.N() != n {
+			return fmt.Errorf("core: restore: %s covers %d nodes, want %d", name, s.N(), n)
+		}
+		return nil
+	}
+	for name, s := range map[string]Syndrome{
+		"prevLS": snap.PrevLS, "prevAlLS": snap.PrevAlLS,
+		"lastSent": snap.LastSent, "prevSent": snap.PrevSent,
+	} {
+		if err := check(name, s); err != nil {
+			return nil, err
+		}
+	}
+	if len(snap.Accuse) != n+1 || len(snap.AccusedAge) != n+1 {
+		return nil, fmt.Errorf("core: restore: accusation state has wrong size")
+	}
+	if len(snap.PR.Penalties) != n+1 || len(snap.PR.Rewards) != n+1 ||
+		len(snap.PR.Active) != n+1 || len(snap.PR.Observe) != n+1 {
+		return nil, fmt.Errorf("core: restore: penalty/reward state has wrong size")
+	}
+	p.steps = snap.Steps
+	p.prevLS = snap.PrevLS
+	p.prevAlLS = snap.PrevAlLS
+	p.lastSent = snap.LastSent
+	p.prevSent = snap.PrevSent
+	p.accuse = snap.Accuse
+	p.accusedAge = snap.AccusedAge
+	for j := 1; j <= n; j++ {
+		if dm, ok := snap.PrevDM[j]; ok {
+			if err := check("prevDM", dm); err != nil {
+				return nil, err
+			}
+			p.prevDM[j] = dm
+		} else {
+			p.prevDM[j] = nil
+		}
+	}
+	p.pr.penalties = snap.PR.Penalties
+	p.pr.rewards = snap.PR.Rewards
+	p.pr.active = snap.PR.Active
+	p.pr.observe = snap.PR.Observe
+	return p, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HMaj is the hybrid-majority voting function of Eqn. 1. It receives the
+// opinions of the other nodes about one diagnosed node (the diagnosed node's
+// self-opinion must already be excluded by the caller) and returns:
+//
+//   - (_, false) — ⊥: no correct local syndrome was available, so no
+//     decision can be reached (only possible during a communication
+//     blackout, Lemma 3);
+//   - (Faulty, true) — strictly more Faulty than Healthy votes among the
+//     non-ε opinions;
+//   - (Healthy, true) — otherwise (including ties, Eqn. 1's "else 1"
+//     branch, which guarantees a correct sender is never convicted by
+//     minority malicious votes).
+func HMaj(votes []Opinion) (Opinion, bool) {
+	var faulty, healthy int
+	for _, v := range votes {
+		switch v {
+		case Faulty:
+			faulty++
+		case Healthy:
+			healthy++
+		}
+	}
+	if faulty+healthy == 0 {
+		return Erased, false
+	}
+	if faulty > healthy {
+		return Faulty, true
+	}
+	return Healthy, true
+}
+
+// Matrix is a diagnostic matrix for one diagnosed round: row j is the
+// aligned local syndrome received from node j (nil for an ε row — node j's
+// syndrome was not received), and column i is the set of opinions about
+// node i.
+type Matrix struct {
+	n    int
+	rows []Syndrome // 1-based; nil row == ε
+}
+
+// NewMatrix returns an empty diagnostic matrix for n nodes (all rows ε).
+func NewMatrix(n int) *Matrix {
+	return &Matrix{n: n, rows: make([]Syndrome, n+1)}
+}
+
+// N returns the system size.
+func (m *Matrix) N() int { return m.n }
+
+// SetRow installs the local syndrome received from node j; a nil syndrome
+// marks the row as ε. The syndrome is not copied.
+func (m *Matrix) SetRow(j int, s Syndrome) error {
+	if j < 1 || j > m.n {
+		return fmt.Errorf("core: matrix row %d out of range 1..%d", j, m.n)
+	}
+	if s != nil && s.N() != m.n {
+		return fmt.Errorf("core: matrix row %d has %d entries, want %d", j, s.N(), m.n)
+	}
+	m.rows[j] = s
+	return nil
+}
+
+// Row returns the syndrome of row j (nil for ε).
+func (m *Matrix) Row(j int) Syndrome {
+	if j < 1 || j > m.n {
+		return nil
+	}
+	return m.rows[j]
+}
+
+// Opinion returns accuser's opinion about accused, Erased when the accuser's
+// row is ε.
+func (m *Matrix) Opinion(accuser, accused int) Opinion {
+	row := m.Row(accuser)
+	if row == nil {
+		return Erased
+	}
+	return row[accused]
+}
+
+// Column collects the opinions about node j from every row except row j
+// itself: "the opinion of a node about itself is considered unreliable and
+// discarded" (Sec. 5).
+func (m *Matrix) Column(j int) []Opinion {
+	votes := make([]Opinion, 0, m.n-1)
+	for i := 1; i <= m.n; i++ {
+		if i == j {
+			continue
+		}
+		votes = append(votes, m.Opinion(i, j))
+	}
+	return votes
+}
+
+// Vote runs H-maj over column j.
+func (m *Matrix) Vote(j int) (Opinion, bool) {
+	return HMaj(m.Column(j))
+}
+
+// String renders the matrix in the layout of Table 1, including the voted
+// consistent health vector.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	b.WriteString("accuser\\accused |")
+	for j := 1; j <= m.n; j++ {
+		fmt.Fprintf(&b, " %d", j)
+	}
+	b.WriteString("\n")
+	for i := 1; i <= m.n; i++ {
+		fmt.Fprintf(&b, "node %-10d |", i)
+		for j := 1; j <= m.n; j++ {
+			if i == j {
+				b.WriteString(" -")
+				continue
+			}
+			fmt.Fprintf(&b, " %s", m.Opinion(i, j))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("voted cons_hv   |")
+	for j := 1; j <= m.n; j++ {
+		if v, ok := m.Vote(j); ok {
+			fmt.Fprintf(&b, " %s", v)
+		} else {
+			b.WriteString(" ?")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Tolerates reports whether an N-node system satisfies the fault hypothesis
+// of Lemma 2 for a asymmetric, s symmetric-malicious and b benign faulty
+// senders over one protocol execution: N > 2a + 2s + b + 1 and a <= 1. The
+// benign-only blackout regime (Lemma 3) is handled separately and reported
+// by ToleratesBenignOnly.
+func Tolerates(n, a, s, b int) bool {
+	if a < 0 || s < 0 || b < 0 {
+		return false
+	}
+	return a <= 1 && n > 2*a+2*s+b+1
+}
+
+// ToleratesBenignOnly reports whether the benign-only regime of Lemma 3
+// applies: every fault is benign and correct local collision detection is
+// available for self-diagnosis. It holds for any b up to N.
+func ToleratesBenignOnly(n, b int) bool {
+	return b >= 0 && b <= n
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablate-vote",
+		"cmp-isolation", "cmp-ttpc",
+		"ext-reintegration",
+		"fdir-loop",
+		"fig1", "fig2", "fig3",
+		"healthy-isolation",
+		"overhead",
+		"port-platforms",
+		"scale-resilience",
+		"scoreboard",
+		"sec10-lowlat",
+		"sec8-bursts", "sec8-clique", "sec8-malicious", "sec8-pr",
+		"sweep-threshold",
+		"table1", "table2", "table3", "table4",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Ref == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete: %+v", e.ID, e)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := Run("nope", Params{}); err == nil {
+		t.Fatal("Run with unknown id accepted")
+	}
+}
+
+// TestRunAllSmoke executes every experiment with a reduced repetition count
+// and checks for the expected output markers.
+func TestRunAllSmoke(t *testing.T) {
+	markers := map[string][]string{
+		"table1":            {"consistent health vector: 1100", "paper: 1 1 0 0"},
+		"table2":            {"Automotive", "197", "40", "Aerospace", "17"},
+		"table3":            {"blinking light", "lightning bolt", "500ms", "50"},
+		"table4":            {"SC", "NSR", "0.518s", "0.205s"},
+		"fig1":              {"aggregate+analyse", "round"},
+		"fig2":              {"dm3@k-1", "Lemma 1"},
+		"fig3":              {"41.7 min", "1e+06"},
+		"sec8-bursts":       {"burst 8 slot(s) from slot 4", "passed"},
+		"sec8-pr":           {"every 2nd round"},
+		"sec8-malicious":    {"malicious node 4"},
+		"sec8-clique":       {"minority clique"},
+		"sec10-lowlat":      {"system-level", "add-on"},
+		"cmp-ttpc":          {"TTP/C", "blackout"},
+		"cmp-isolation":     {"immediate isolation", "alpha-count"},
+		"port-platforms":    {"FlexRay", "SAFEbus", "TT-Ethernet", "pass"},
+		"sweep-threshold":   {"latency", "availability", "197"},
+		"ext-reintegration": {"downtime", "back in service", "true"},
+		"healthy-isolation": {"p^P", "0 isolations"},
+		"fdir-loop":         {"steer->n3", "steer->n1", "reintegrate"},
+		"scoreboard":        {"17 checks, all pass"},
+		"overhead":          {"O(N) bits", "byte(s)"},
+		"scale-resilience":  {"bound holds", "NO"},
+		"ablate-vote":       {"tie-break to Faulty", "own-row"},
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			runs := 2
+			if e.ID == "table4" {
+				runs = 1 // the NSR class runs 25 simulated seconds per repetition
+			}
+			if err := Run(e.ID, Params{Seed: 1, Runs: runs, Out: &buf}); err != nil {
+				t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+			}
+			out := buf.String()
+			for _, m := range markers[e.ID] {
+				if !strings.Contains(out, m) {
+					t.Errorf("output missing %q:\n%s", m, out)
+				}
+			}
+		})
+	}
+}
+
+// TestCampaignsAllPass asserts that every Sec. 8 campaign class passes all
+// of its audits (the validation result of the paper).
+func TestCampaignsAllPass(t *testing.T) {
+	p := Params{Seed: 3, Runs: 4}
+	campaigns := map[string]func(Params) ([]CampaignRow, error){
+		"bursts":    BurstCampaign,
+		"pr":        PRCampaign,
+		"malicious": MaliciousCampaign,
+		"clique":    CliqueCampaign,
+	}
+	for name, fn := range campaigns {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			rows, err := fn(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Passed != r.Runs {
+					t.Errorf("%s / %s: %d/%d passed (%s)", name, r.Class, r.Passed, r.Runs, r.FirstFailure)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "overhead",
+		Title: "Protocol overhead vs cluster size: bandwidth and per-job CPU",
+		Ref:   "Sec. 1 & 10 (low bandwidth requirements)",
+		Run:   runOverhead,
+	})
+}
+
+// runOverhead quantifies the integration cost the paper advertises as low:
+// the diagnostic message stays at N bits per node per round, and one
+// diagnostic-job execution (all five phases) is measured live with
+// testing.Benchmark across cluster sizes. CPU numbers are machine-dependent
+// and printed as measured; the bandwidth column is exact.
+func runOverhead(p Params) error {
+	t := newTable(p.Out)
+	t.row("N", "dm size", "dm bits/round/bus", "job CPU (measured)", "allocs/job")
+	t.rule(5)
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		n := n
+		res := testing.Benchmark(func(b *testing.B) {
+			proto, err := core.NewProtocol(core.Config{
+				N: n, ID: 1, L: 0, SendCurrRound: true, AllSendCurrRound: true,
+				PR: core.PRConfig{PenaltyThreshold: 1 << 40, RewardThreshold: 1 << 40},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dms := make([]core.Syndrome, n+1)
+			for j := 1; j <= n; j++ {
+				dms[j] = core.NewSyndrome(n, core.Healthy)
+			}
+			validity := core.NewSyndrome(n, core.Healthy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := proto.Step(core.RoundInput{Round: i, DMs: dms, Validity: validity}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		t.row(strconv.Itoa(n),
+			fmt.Sprintf("%d byte(s)", core.EncodedLen(n)),
+			fmt.Sprintf("%d", n*n),
+			(time.Duration(res.NsPerOp()) * time.Nanosecond).String(),
+			strconv.FormatInt(res.AllocsPerOp(), 10))
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(p.Out, "\nbandwidth is the paper's O(N) bits per message / O(N^2) per round;"+
+		" voting is O(N^2) per job\n")
+	// A sanity line that is deterministic for the golden comparison lives
+	// in the bandwidth column only; CPU numbers vary per machine.
+	_ = sim.DefaultRoundLen
+	return nil
+}

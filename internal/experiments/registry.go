@@ -1,0 +1,97 @@
+// Package experiments is the reproduction harness: one registered experiment
+// per table and figure of the paper (plus the comparative claims of Secs. 2,
+// 9 and 10). Each experiment regenerates its artifact from the simulation
+// stack and prints the same rows or series the paper reports, side by side
+// with the published values where they exist. EXPERIMENTS.md records the
+// paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Params controls an experiment run.
+type Params struct {
+	// Seed is the master seed of all randomised campaigns.
+	Seed int64
+	// Runs is the number of Monte-Carlo repetitions for experiments that
+	// repeat injections (the paper uses 100 per experiment class).
+	Runs int
+	// Out receives the rendered artifact.
+	Out io.Writer
+}
+
+func (p Params) withDefaults() Params {
+	if p.Runs <= 0 {
+		p.Runs = 100
+	}
+	if p.Out == nil {
+		p.Out = io.Discard
+	}
+	return p
+}
+
+// Experiment is one registered reproduction target.
+type Experiment struct {
+	// ID is the registry key (e.g. "table4").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Ref names the paper artifact it regenerates.
+	Ref string
+	// Run executes the experiment.
+	Run func(p Params) error
+}
+
+// registry is populated by the artifact files' register calls.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (use -list)", id)
+	}
+	return e, nil
+}
+
+// Run executes one experiment by ID.
+func Run(id string, p Params) error {
+	e, err := Get(id)
+	if err != nil {
+		return err
+	}
+	p = p.withDefaults()
+	fmt.Fprintf(p.Out, "==> %s — %s (%s)\n\n", e.ID, e.Title, e.Ref)
+	if err := e.Run(p); err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(p.Out)
+	return nil
+}
+
+// RunAll executes every registered experiment in ID order.
+func RunAll(p Params) error {
+	for _, e := range All() {
+		if err := Run(e.ID, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

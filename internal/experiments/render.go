@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// table renders rows with aligned columns.
+type table struct {
+	w *tabwriter.Writer
+}
+
+func newTable(out io.Writer) *table {
+	return &table{w: tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)}
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.w, strings.Join(cells, "\t"))
+}
+
+func (t *table) rule(cols int) {
+	cells := make([]string, cols)
+	for i := range cells {
+		cells[i] = "----"
+	}
+	t.row(cells...)
+}
+
+func (t *table) flush() error { return t.w.Flush() }
+
+// ms renders a duration in seconds with millisecond precision, matching the
+// paper's tables.
+func ms(d time.Duration) string {
+	if d < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4gs", d.Seconds())
+}
+
+// asciiPlot renders series as a compact ASCII chart: x positions map to
+// columns, y values (0..1) to rows; each series is drawn with its own glyph
+// and overlaps keep the later glyph.
+type asciiPlot struct {
+	width, height int
+	glyphs        []byte
+	labels        []string
+}
+
+func (pl asciiPlot) render(xs []float64, series [][]float64) string {
+	if pl.width <= 0 || pl.height <= 0 || len(xs) == 0 {
+		return ""
+	}
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xMin {
+			xMin = x
+		}
+		if x > xMax {
+			xMax = x
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	grid := make([][]byte, pl.height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", pl.width))
+	}
+	col := func(x float64) int {
+		c := int((x - xMin) / (xMax - xMin) * float64(pl.width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= pl.width {
+			c = pl.width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		if y < 0 {
+			y = 0
+		}
+		if y > 1 {
+			y = 1
+		}
+		r := int((1 - y) * float64(pl.height-1))
+		return r
+	}
+	for si, ys := range series {
+		glyph := byte('*')
+		if si < len(pl.glyphs) {
+			glyph = pl.glyphs[si]
+		}
+		for i, y := range ys {
+			if i >= len(xs) {
+				break
+			}
+			grid[row(y)][col(xs[i])] = glyph
+		}
+	}
+	var b strings.Builder
+	for r, line := range grid {
+		yTick := "    "
+		if r == 0 {
+			yTick = "1.0 "
+		}
+		if r == pl.height-1 {
+			yTick = "0.0 "
+		}
+		b.WriteString(yTick)
+		b.WriteString("|")
+		b.Write(line)
+		b.WriteString("\n")
+	}
+	b.WriteString("    +")
+	b.WriteString(strings.Repeat("-", pl.width))
+	b.WriteString("\n")
+	if len(pl.labels) > 0 {
+		b.WriteString("     series: ")
+		for si, lbl := range pl.labels {
+			glyph := byte('*')
+			if si < len(pl.glyphs) {
+				glyph = pl.glyphs[si]
+			}
+			fmt.Fprintf(&b, "%c=%s ", glyph, lbl)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/fault"
+	"ttdiag/internal/rng"
+	"ttdiag/internal/sim"
+	"ttdiag/internal/tdma"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "sec8-bursts",
+		Title: "Burst injection campaign: 1 slot / 2 slots / 2 rounds from every slot",
+		Ref:   "Sec. 8 (validation)",
+		Run:   runSec8Bursts,
+	})
+	register(Experiment{
+		ID:    "sec8-pr",
+		Title: "Penalty/reward counter updates under periodic faults",
+		Ref:   "Sec. 8 (validation)",
+		Run:   runSec8PR,
+	})
+	register(Experiment{
+		ID:    "sec8-malicious",
+		Title: "Malicious node broadcasting random local syndromes",
+		Ref:   "Sec. 8 (validation)",
+		Run:   runSec8Malicious,
+	})
+	register(Experiment{
+		ID:    "sec8-clique",
+		Title: "Clique detection by the membership protocol",
+		Ref:   "Sec. 8 (validation)",
+		Run:   runSec8Clique,
+	})
+}
+
+// CampaignRow is the outcome of one experiment class of the Sec. 8 campaign.
+type CampaignRow struct {
+	// Class names the experiment class.
+	Class string
+	// Runs and Passed count repetitions and successful audits.
+	Runs, Passed int
+	// FirstFailure describes the first failed audit, if any.
+	FirstFailure string
+}
+
+func renderCampaign(p Params, rows []CampaignRow) error {
+	t := newTable(p.Out)
+	t.row("experiment class", "passed", "first failure")
+	t.rule(3)
+	total, passed := 0, 0
+	for _, r := range rows {
+		t.row(r.Class, fmt.Sprintf("%d/%d", r.Passed, r.Runs), r.FirstFailure)
+		total += r.Runs
+		passed += r.Passed
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(p.Out, "\n%d/%d injections passed their audits\n", passed, total)
+	return nil
+}
+
+// prototypeLs is the unconstrained node schedule used across the campaign
+// (the add-on deployment with detection latency k-3).
+var prototypeLs = []int{2, 0, 3, 1}
+
+// BurstCampaign runs the twelve burst experiment classes: bursts of one
+// slot, two slots and two whole TDMA rounds, starting at each of the four
+// sending slots. Every repetition shifts the injection round, and every run
+// is audited for Theorem 1's correctness, completeness and consistency.
+func BurstCampaign(p Params) ([]CampaignRow, error) {
+	p = p.withDefaults()
+	stream := rng.NewSource(p.Seed).Stream("sec8-bursts")
+	var rows []CampaignRow
+	for _, slots := range []int{1, 2, 8} {
+		for startSlot := 1; startSlot <= 4; startSlot++ {
+			row := CampaignRow{
+				Class: fmt.Sprintf("burst %d slot(s) from slot %d", slots, startSlot),
+				Runs:  p.Runs,
+			}
+			for run := 0; run < p.Runs; run++ {
+				injectRound := 5 + stream.Intn(6)
+				eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{Ls: prototypeLs})
+				if err != nil {
+					return nil, err
+				}
+				col := sim.NewCollector()
+				for id := 1; id <= 4; id++ {
+					col.HookDiag(id, runners[id])
+				}
+				eng.Bus().AddDisturbance(fault.NewTrain(
+					fault.SlotBurst(eng.Schedule(), injectRound, startSlot, slots)))
+				if err := eng.RunRounds(injectRound + 10); err != nil {
+					return nil, err
+				}
+				if err := sim.AuditTheorem1(eng, col, []int{1, 2, 3, 4}, 4, injectRound+6); err != nil {
+					if row.FirstFailure == "" {
+						row.FirstFailure = err.Error()
+					}
+					continue
+				}
+				row.Passed++
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runSec8Bursts(p Params) error {
+	rows, err := BurstCampaign(p)
+	if err != nil {
+		return err
+	}
+	return renderCampaign(p, rows)
+}
+
+// PRCampaign reproduces the p/r validation class: a fault in one node's
+// sending slot every second round for 20 rounds; either the penalty or the
+// reward counter must advance every round, identically at every node.
+func PRCampaign(p Params) ([]CampaignRow, error) {
+	p = p.withDefaults()
+	stream := rng.NewSource(p.Seed).Stream("sec8-pr")
+	row := CampaignRow{Class: "fault every 2nd round for 20 rounds", Runs: p.Runs}
+	for run := 0; run < p.Runs; run++ {
+		startRound := 6 + stream.Intn(4)
+		target := 1 + stream.Intn(4)
+		eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{
+			Ls: prototypeLs,
+			PR: core.PRConfig{PenaltyThreshold: 1 << 30, RewardThreshold: 100},
+		})
+		if err != nil {
+			return nil, err
+		}
+		var bursts []fault.Burst
+		for r := startRound; r < startRound+20; r += 2 {
+			bursts = append(bursts, fault.SlotBurst(eng.Schedule(), r, target, 1))
+		}
+		eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
+		if err := eng.RunRounds(startRound + 30); err != nil {
+			return nil, err
+		}
+		ok := true
+		for id := 1; id <= 4; id++ {
+			pr := runners[id].Protocol().PenaltyReward()
+			if pr.Penalty(target) != 10 {
+				if row.FirstFailure == "" {
+					row.FirstFailure = fmt.Sprintf("node %d: penalty %d, want 10", id, pr.Penalty(target))
+				}
+				ok = false
+			}
+		}
+		if ok {
+			row.Passed++
+		}
+	}
+	return []CampaignRow{row}, nil
+}
+
+func runSec8PR(p Params) error {
+	rows, err := PRCampaign(p)
+	if err != nil {
+		return err
+	}
+	return renderCampaign(p, rows)
+}
+
+// MaliciousCampaign runs the four malicious-node classes: each node in turn
+// broadcasts random local syndromes; the obedient nodes must never diagnose
+// a correct node as faulty and must stay consistent.
+func MaliciousCampaign(p Params) ([]CampaignRow, error) {
+	p = p.withDefaults()
+	src := rng.NewSource(p.Seed)
+	var rows []CampaignRow
+	for mal := 1; mal <= 4; mal++ {
+		row := CampaignRow{Class: fmt.Sprintf("malicious node %d", mal), Runs: p.Runs}
+		for run := 0; run < p.Runs; run++ {
+			eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{Ls: prototypeLs})
+			if err != nil {
+				return nil, err
+			}
+			col := sim.NewCollector()
+			for id := 1; id <= 4; id++ {
+				col.HookDiag(id, runners[id])
+			}
+			eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
+				tdma.NodeID(mal), src.Stream(fmt.Sprintf("mal-%d-%d", mal, run))))
+			if err := eng.RunRounds(24); err != nil {
+				return nil, err
+			}
+			var obedient []int
+			for id := 1; id <= 4; id++ {
+				if id != mal {
+					obedient = append(obedient, id)
+				}
+			}
+			err = sim.AuditTheorem1(eng, col, obedient, 4, 20)
+			if err == nil {
+				for d := 4; d < 20 && err == nil; d++ {
+					if hv := col.ConsHV[d][obedient[0]]; hv.CountFaulty() != 0 {
+						err = fmt.Errorf("round %d: conviction %v", d, hv)
+					}
+				}
+			}
+			if err != nil {
+				if row.FirstFailure == "" {
+					row.FirstFailure = err.Error()
+				}
+				continue
+			}
+			row.Passed++
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runSec8Malicious(p Params) error {
+	rows, err := MaliciousCampaign(p)
+	if err != nil {
+		return err
+	}
+	return renderCampaign(p, rows)
+}
+
+// CliqueCampaign reproduces the membership validation: the disturbance node
+// sits between node 1 and the rest of the cluster, so node 1 misses another
+// node's broadcast and forms a minority clique; every obedient node must
+// install the view {2,3,4} in the same round, within two protocol
+// executions.
+func CliqueCampaign(p Params) ([]CampaignRow, error) {
+	p = p.withDefaults()
+	stream := rng.NewSource(p.Seed).Stream("sec8-clique")
+	row := CampaignRow{Class: "minority clique {1} via asymmetric receive fault", Runs: p.Runs}
+	for run := 0; run < p.Runs; run++ {
+		faultRound := 6 + stream.Intn(6)
+		missedSender := tdma.NodeID(2 + stream.Intn(3))
+		eng, runners, err := sim.NewMembershipCluster(sim.ClusterConfig{Ls: prototypeLs})
+		if err != nil {
+			return nil, err
+		}
+		eng.Bus().AddDisturbance(fault.ReceiverBlind{
+			Receiver: 1, Senders: []tdma.NodeID{missedSender},
+			FromRound: faultRound, ToRound: faultRound + 1,
+		})
+		if err := eng.RunRounds(faultRound + 14); err != nil {
+			return nil, err
+		}
+		lag := runners[1].Service().Protocol().Config().Lag()
+		failure := ""
+		ref := runners[1].View()
+		for id := 1; id <= 4; id++ {
+			v := runners[id].View()
+			if fmt.Sprint(v.Members) != "[2 3 4]" {
+				failure = fmt.Sprintf("node %d view %v", id, v.Members)
+				break
+			}
+			if v.FormedAtRound != ref.FormedAtRound || v.ID != ref.ID {
+				failure = fmt.Sprintf("node %d view disagrees with node 1", id)
+				break
+			}
+			if v.FormedAtRound > faultRound+2*(lag+1) {
+				failure = fmt.Sprintf("view formed at %d, fault at %d (liveness)", v.FormedAtRound, faultRound)
+				break
+			}
+		}
+		if failure != "" {
+			if row.FirstFailure == "" {
+				row.FirstFailure = failure
+			}
+			continue
+		}
+		row.Passed++
+	}
+	return []CampaignRow{row}, nil
+}
+
+func runSec8Clique(p Params) error {
+	rows, err := CliqueCampaign(p)
+	if err != nil {
+		return err
+	}
+	return renderCampaign(p, rows)
+}

@@ -1,0 +1,69 @@
+// Package fault implements the Customizable Fault-Effect Model of Sec. 4 as
+// pluggable bus disturbances: benign (locally detectable by all receivers),
+// symmetric malicious (same undetectable wrong value everywhere) and
+// asymmetric (detectable by some receivers only) communication faults, plus
+// the composite injection scenarios used in the paper's validation and
+// tuning campaigns (bursts on the slot grid, continuous-time bursts of
+// arbitrary phase, the automotive blinking-light and aerospace
+// lightning-bolt scenarios, communication blackouts, and Poisson external
+// transients).
+//
+// Every type implements tdma.Disturbance and can be stacked on a bus. The
+// disturbances correspond to the paper's physical disturbance node: since the
+// protocol does not discriminate between node and link faults, a node fault
+// is emulated by corrupting or dropping the messages it sends.
+package fault
+
+import (
+	"ttdiag/internal/tdma"
+)
+
+// Predicate is a benign fault driven by an arbitrary match function: every
+// transmission it matches is made locally detectable for all receivers and
+// trips the sender's collision detector. It is the building block for
+// targeted experiment classes (e.g. "corrupt node 3's slot every second
+// round for 20 rounds").
+type Predicate struct {
+	// Match reports whether the transmission is corrupted.
+	Match func(tx *tdma.Transmission) bool
+}
+
+var _ tdma.Disturbance = Predicate{}
+
+// Deliver implements tdma.Disturbance.
+func (p Predicate) Deliver(tx *tdma.Transmission, _ tdma.NodeID, d tdma.Delivery) tdma.Delivery {
+	if p.Match != nil && p.Match(tx) {
+		return tdma.Delivery{}
+	}
+	return d
+}
+
+// SenderCollision implements tdma.Disturbance. Bus-level corruption is
+// visible to the sender's local collision detector.
+func (p Predicate) SenderCollision(tx *tdma.Transmission, collided bool) bool {
+	if p.Match != nil && p.Match(tx) {
+		return true
+	}
+	return collided
+}
+
+// EveryKthRound corrupts the sending slot of one node every k-th round inside
+// [fromRound, toRound), starting with fromRound. It reproduces the Sec. 8
+// penalty/reward experiment class ("a fault is injected in the sending slots
+// of the node every second TDMA round for 20 TDMA rounds" uses k = 2).
+func EveryKthRound(node tdma.NodeID, k, fromRound, toRound int) Predicate {
+	return Predicate{Match: func(tx *tdma.Transmission) bool {
+		if tx.Sender != node || tx.Round < fromRound || tx.Round >= toRound {
+			return false
+		}
+		return (tx.Round-fromRound)%k == 0
+	}}
+}
+
+// Crash makes a node fail-silent from a given round on: a permanently benign
+// faulty sender in the extended fault model (an unhealthy node).
+func Crash(node tdma.NodeID, fromRound int) Predicate {
+	return Predicate{Match: func(tx *tdma.Transmission) bool {
+		return tx.Sender == node && tx.Round >= fromRound
+	}}
+}

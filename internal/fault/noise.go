@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"ttdiag/internal/rng"
+	"ttdiag/internal/tdma"
+)
+
+// RandomNoise corrupts every transmission independently with a fixed
+// probability: the "random noise" injection class of Sec. 8, and the
+// workhorse of long-run stress campaigns. Corrupted transmissions are
+// locally detectable by all receivers (benign class) and trip the sender's
+// collision detector, like any bus-level disturbance.
+//
+// The verdict for a transmission is drawn once and cached so that all
+// receivers of one broadcast observe the same outcome.
+type RandomNoise struct {
+	// Prob is the per-transmission corruption probability in [0, 1].
+	Prob float64
+	// FromRound and ToRound bound the noise; ToRound <= 0 means "forever".
+	FromRound, ToRound int
+
+	stream                *rng.Stream
+	cacheRound, cacheSlot int
+	cacheHit              bool
+	cacheSet              bool
+}
+
+var _ tdma.Disturbance = (*RandomNoise)(nil)
+
+// NewRandomNoise builds the disturbance with its own random stream.
+func NewRandomNoise(prob float64, stream *rng.Stream) *RandomNoise {
+	return &RandomNoise{Prob: prob, stream: stream}
+}
+
+func (rn *RandomNoise) hits(tx *tdma.Transmission) bool {
+	if tx.Round < rn.FromRound || (rn.ToRound > 0 && tx.Round >= rn.ToRound) {
+		return false
+	}
+	if !rn.cacheSet || rn.cacheRound != tx.Round || rn.cacheSlot != tx.Slot {
+		rn.cacheRound, rn.cacheSlot, rn.cacheSet = tx.Round, tx.Slot, true
+		rn.cacheHit = rn.stream.Bool(rn.Prob)
+	}
+	return rn.cacheHit
+}
+
+// Deliver implements tdma.Disturbance.
+func (rn *RandomNoise) Deliver(tx *tdma.Transmission, _ tdma.NodeID, d tdma.Delivery) tdma.Delivery {
+	if rn.hits(tx) {
+		return tdma.Delivery{}
+	}
+	return d
+}
+
+// SenderCollision implements tdma.Disturbance.
+func (rn *RandomNoise) SenderCollision(tx *tdma.Transmission, collided bool) bool {
+	if rn.hits(tx) {
+		return true
+	}
+	return collided
+}

@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"testing"
+
+	"ttdiag/internal/rng"
+	"ttdiag/internal/tdma"
+)
+
+func TestRandomNoiseRate(t *testing.T) {
+	rn := NewRandomNoise(0.25, rng.NewStream(1))
+	in := tdma.Delivery{Valid: true, Payload: []byte{1}}
+	hits := 0
+	const txs = 20000
+	for i := 0; i < txs; i++ {
+		round, slot := i/4, i%4+1
+		tx := txAt(paperSched, tdma.NodeID(slot), round, in.Payload)
+		d := rn.Deliver(tx, 1, in)
+		if !d.Valid {
+			hits++
+		}
+	}
+	frac := float64(hits) / txs
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("corruption rate %v, want ~0.25", frac)
+	}
+}
+
+func TestRandomNoiseConsistentPerTransmission(t *testing.T) {
+	rn := NewRandomNoise(0.5, rng.NewStream(2))
+	in := tdma.Delivery{Valid: true, Payload: []byte{1}}
+	for i := 0; i < 200; i++ {
+		tx := txAt(paperSched, tdma.NodeID(i%4+1), i/4, in.Payload)
+		first := rn.Deliver(tx, 1, in).Valid
+		for rcv := tdma.NodeID(2); rcv <= 4; rcv++ {
+			if got := rn.Deliver(tx, rcv, in).Valid; got != first {
+				t.Fatalf("tx %d: receivers observed different outcomes", i)
+			}
+		}
+		if collided := rn.SenderCollision(tx, false); collided == first {
+			t.Fatalf("tx %d: collision detector disagrees with delivery outcome", i)
+		}
+	}
+}
+
+func TestRandomNoiseWindow(t *testing.T) {
+	rn := NewRandomNoise(1.0, rng.NewStream(3))
+	rn.FromRound, rn.ToRound = 5, 7
+	in := tdma.Delivery{Valid: true, Payload: []byte{1}}
+	for _, tt := range []struct {
+		round int
+		want  bool // corrupted?
+	}{{4, false}, {5, true}, {6, true}, {7, false}} {
+		tx := txAt(paperSched, 1, tt.round, in.Payload)
+		d := rn.Deliver(tx, 2, in)
+		if got := !d.Valid; got != tt.want {
+			t.Errorf("round %d: corrupted = %v, want %v", tt.round, got, tt.want)
+		}
+	}
+}

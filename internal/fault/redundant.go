@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"ttdiag/internal/tdma"
+)
+
+// RedundantChannels models the replicated communication bus of the paper's
+// system model (Sec. 3: "a shared (and possibly replicated) communication
+// bus"; the Sec. 8 prototype used a redundant layered-TTP network). Every
+// transmission travels on all channels simultaneously; a receiver's delivery
+// is valid if at least one channel delivered it intact, and the sender's
+// collision detector trips only when every channel was disturbed.
+//
+// Each channel carries its own disturbance chain, so channel-local faults
+// (EMI on one wire pair, one disconnected stub) are masked while
+// common-mode faults (a faulty sender) still manifest on all channels.
+type RedundantChannels struct {
+	channels []tdma.Disturbances
+}
+
+var _ tdma.Disturbance = (*RedundantChannels)(nil)
+
+// NewRedundantChannels builds the replicated medium from per-channel
+// disturbance chains; len(chains) is the replication degree (the paper's
+// prototype used two).
+func NewRedundantChannels(chains ...[]tdma.Disturbance) *RedundantChannels {
+	rc := &RedundantChannels{channels: make([]tdma.Disturbances, len(chains))}
+	for i, ch := range chains {
+		rc.channels[i] = tdma.Disturbances(ch)
+	}
+	return rc
+}
+
+// Channels returns the replication degree.
+func (rc *RedundantChannels) Channels() int { return len(rc.channels) }
+
+// AddToChannel appends a disturbance to one channel's chain.
+func (rc *RedundantChannels) AddToChannel(channel int, d tdma.Disturbance) {
+	if channel < 0 || channel >= len(rc.channels) {
+		return
+	}
+	rc.channels[channel] = append(rc.channels[channel], d)
+}
+
+// Deliver implements tdma.Disturbance: the receiver accepts the first
+// channel that delivers a locally valid frame.
+func (rc *RedundantChannels) Deliver(tx *tdma.Transmission, rcv tdma.NodeID, d tdma.Delivery) tdma.Delivery {
+	if len(rc.channels) == 0 {
+		return d
+	}
+	var firstValid *tdma.Delivery
+	for _, ch := range rc.channels {
+		chDelivery := ch.Deliver(tx, rcv, d)
+		if chDelivery.Valid {
+			firstValid = &chDelivery
+			break
+		}
+	}
+	if firstValid == nil {
+		return tdma.Delivery{}
+	}
+	return *firstValid
+}
+
+// SenderCollision implements tdma.Disturbance: the sender sees a collision
+// only if no channel carried its frame.
+func (rc *RedundantChannels) SenderCollision(tx *tdma.Transmission, collided bool) bool {
+	if len(rc.channels) == 0 {
+		return collided
+	}
+	for _, ch := range rc.channels {
+		if !ch.SenderCollision(tx, collided) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"testing"
+
+	"ttdiag/internal/rng"
+	"ttdiag/internal/tdma"
+)
+
+func TestRedundantChannelsMaskSingleChannelFault(t *testing.T) {
+	// Channel A suffers a burst, channel B is clean: delivery survives.
+	burst := SlotBurst(paperSched, 0, 2, 1)
+	rc := NewRedundantChannels(
+		[]tdma.Disturbance{NewTrain(burst)},
+		nil,
+	)
+	tx := txAt(paperSched, 2, 0, []byte{7})
+	in := tdma.Delivery{Valid: true, Payload: tx.Payload}
+	if d := rc.Deliver(tx, 1, in); !d.Valid || d.Payload[0] != 7 {
+		t.Fatalf("single-channel fault not masked: %+v", d)
+	}
+	if rc.SenderCollision(tx, false) {
+		t.Fatal("collision detector tripped with one clean channel")
+	}
+}
+
+func TestRedundantChannelsCommonModeFault(t *testing.T) {
+	// The same burst on both channels (a faulty sender manifests on every
+	// channel): delivery lost, collision detected.
+	burst := SlotBurst(paperSched, 0, 2, 1)
+	rc := NewRedundantChannels(
+		[]tdma.Disturbance{NewTrain(burst)},
+		[]tdma.Disturbance{NewTrain(burst)},
+	)
+	tx := txAt(paperSched, 2, 0, []byte{7})
+	in := tdma.Delivery{Valid: true, Payload: tx.Payload}
+	if d := rc.Deliver(tx, 1, in); d.Valid {
+		t.Fatal("common-mode fault masked")
+	}
+	if !rc.SenderCollision(tx, false) {
+		t.Fatal("collision detector quiet under common-mode fault")
+	}
+}
+
+func TestRedundantChannelsAsymmetricPerChannel(t *testing.T) {
+	// Channel A blinds receiver 1, channel B blinds receiver 3: every
+	// receiver still gets the frame via the other channel.
+	rc := NewRedundantChannels(
+		[]tdma.Disturbance{ReceiverBlind{Receiver: 1, Senders: []tdma.NodeID{2}}},
+		[]tdma.Disturbance{ReceiverBlind{Receiver: 3, Senders: []tdma.NodeID{2}}},
+	)
+	tx := txAt(paperSched, 2, 0, []byte{7})
+	in := tdma.Delivery{Valid: true, Payload: tx.Payload}
+	for _, rcv := range []tdma.NodeID{1, 3, 4} {
+		if d := rc.Deliver(tx, rcv, in); !d.Valid {
+			t.Fatalf("receiver %d lost the frame despite redundancy", rcv)
+		}
+	}
+}
+
+func TestRedundantChannelsMaliciousOnOneChannel(t *testing.T) {
+	// A malicious payload substitution on channel A is accepted (first
+	// valid channel wins) — redundancy does not detect semantic faults,
+	// matching the fault model: the diagnostic protocol, not the bus, deals
+	// with malicious content.
+	rc := NewRedundantChannels(
+		[]tdma.Disturbance{NewMaliciousSyndrome(2, rng.NewStream(1))},
+		nil,
+	)
+	tx := txAt(paperSched, 2, 0, []byte{7})
+	in := tdma.Delivery{Valid: true, Payload: tx.Payload}
+	d := rc.Deliver(tx, 1, in)
+	if !d.Valid {
+		t.Fatal("delivery lost")
+	}
+}
+
+func TestRedundantChannelsEmpty(t *testing.T) {
+	rc := NewRedundantChannels()
+	tx := txAt(paperSched, 1, 0, []byte{1})
+	in := tdma.Delivery{Valid: true, Payload: tx.Payload}
+	if d := rc.Deliver(tx, 2, in); !d.Valid {
+		t.Fatal("empty redundant medium corrupted a delivery")
+	}
+	if rc.SenderCollision(tx, true) != true {
+		t.Fatal("empty redundant medium cleared an upstream collision")
+	}
+}
+
+func TestAddToChannel(t *testing.T) {
+	rc := NewRedundantChannels(nil, nil)
+	rc.AddToChannel(0, NewTrain(SlotBurst(paperSched, 0, 1, 4)))
+	rc.AddToChannel(9, NewTrain(SlotBurst(paperSched, 0, 1, 4))) // ignored
+	tx := txAt(paperSched, 1, 0, []byte{1})
+	in := tdma.Delivery{Valid: true, Payload: tx.Payload}
+	// Channel 1 still clean -> masked.
+	if d := rc.Deliver(tx, 2, in); !d.Valid {
+		t.Fatal("fault on channel 0 not masked by channel 1")
+	}
+	rc.AddToChannel(1, NewTrain(SlotBurst(paperSched, 0, 1, 4)))
+	if d := rc.Deliver(tx, 2, in); d.Valid {
+		t.Fatal("fault on both channels masked")
+	}
+}
+
+func TestRedundantChannelsCount(t *testing.T) {
+	if got := NewRedundantChannels(nil, nil, nil).Channels(); got != 3 {
+		t.Fatalf("Channels() = %d", got)
+	}
+}

@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"time"
+)
+
+// Scenario is a named abnormal transient scenario (Table 3): a sequence of
+// burst phases, each contributing a number of bursts of a given length with
+// a given time to reappearance (end-to-start gap to the following burst).
+type Scenario struct {
+	// Name identifies the scenario in experiment output.
+	Name string
+	// Phases are applied in order.
+	Phases []ScenarioPhase
+}
+
+// ScenarioPhase is one row of Table 3.
+type ScenarioPhase struct {
+	// Burst is the length of each disturbance burst.
+	Burst time.Duration
+	// Reappearance is the end-to-start gap separating consecutive bursts.
+	Reappearance time.Duration
+	// Count is the number of injections with these parameters.
+	Count int
+}
+
+// BlinkingLight is the automotive abnormal transient scenario of Table 3: a
+// blinking light with an open relay causes periodic electrical instabilities
+// on the bus — 50 bursts of 10 ms with a 500 ms time to reappearance.
+func BlinkingLight() Scenario {
+	return Scenario{
+		Name: "Auto (blinking light)",
+		Phases: []ScenarioPhase{
+			{Burst: 10 * time.Millisecond, Reappearance: 500 * time.Millisecond, Count: 50},
+		},
+	}
+}
+
+// LightningBolt is the aerospace abnormal transient scenario of Table 3: a
+// lightning bolt produces a sequence of instabilities with increasing time
+// to reappearance — 40 ms bursts at 160 ms, then 290 ms, then nine at 500 ms.
+func LightningBolt() Scenario {
+	return Scenario{
+		Name: "Aero (lightning bolt)",
+		Phases: []ScenarioPhase{
+			{Burst: 40 * time.Millisecond, Reappearance: 160 * time.Millisecond, Count: 1},
+			{Burst: 40 * time.Millisecond, Reappearance: 290 * time.Millisecond, Count: 1},
+			{Burst: 40 * time.Millisecond, Reappearance: 500 * time.Millisecond, Count: 9},
+		},
+	}
+}
+
+// Train lays the scenario out on the simulated clock starting at the given
+// phase offset and returns the resulting burst train. Each burst is followed
+// by its phase's time to reappearance before the next burst begins.
+func (s Scenario) Train(start time.Duration) *Train {
+	var bursts []Burst
+	at := start
+	for _, ph := range s.Phases {
+		for i := 0; i < ph.Count; i++ {
+			bursts = append(bursts, Burst{Start: at, Length: ph.Burst})
+			at += ph.Burst + ph.Reappearance
+		}
+	}
+	return NewTrain(bursts...)
+}
+
+// TotalBursts returns the number of bursts the scenario injects.
+func (s Scenario) TotalBursts() int {
+	total := 0
+	for _, ph := range s.Phases {
+		total += ph.Count
+	}
+	return total
+}
+
+// Span returns the time from the first burst's start to the last burst's end
+// when the scenario starts at offset zero.
+func (s Scenario) Span() time.Duration {
+	at := time.Duration(0)
+	end := at
+	for _, ph := range s.Phases {
+		for i := 0; i < ph.Count; i++ {
+			end = at + ph.Burst
+			at += ph.Burst + ph.Reappearance
+		}
+	}
+	return end
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBlinkingLightMatchesTable3(t *testing.T) {
+	s := BlinkingLight()
+	if s.TotalBursts() != 50 {
+		t.Fatalf("TotalBursts = %d, want 50", s.TotalBursts())
+	}
+	tr := s.Train(0)
+	bursts := tr.Bursts()
+	if len(bursts) != 50 {
+		t.Fatalf("train has %d bursts", len(bursts))
+	}
+	for i, b := range bursts {
+		if b.Length != 10*time.Millisecond {
+			t.Fatalf("burst %d length %v", i, b.Length)
+		}
+		if want := time.Duration(i) * 510 * time.Millisecond; b.Start != want {
+			t.Fatalf("burst %d at %v, want %v", i, b.Start, want)
+		}
+	}
+}
+
+func TestLightningBoltMatchesTable3(t *testing.T) {
+	s := LightningBolt()
+	if s.TotalBursts() != 11 {
+		t.Fatalf("TotalBursts = %d, want 11", s.TotalBursts())
+	}
+	tr := s.Train(0)
+	bursts := tr.Bursts()
+	if len(bursts) != 11 {
+		t.Fatalf("train has %d bursts", len(bursts))
+	}
+	for i, b := range bursts {
+		if b.Length != 40*time.Millisecond {
+			t.Fatalf("burst %d length %v", i, b.Length)
+		}
+	}
+	// Gaps: 160ms after the first burst, 290ms after the second, 500ms after.
+	if gap := bursts[1].Start - bursts[0].End(); gap != 160*time.Millisecond {
+		t.Errorf("gap 0->1 = %v", gap)
+	}
+	if gap := bursts[2].Start - bursts[1].End(); gap != 290*time.Millisecond {
+		t.Errorf("gap 1->2 = %v", gap)
+	}
+	for i := 3; i < 11; i++ {
+		if gap := bursts[i].Start - bursts[i-1].End(); gap != 500*time.Millisecond {
+			t.Errorf("gap %d->%d = %v", i-1, i, gap)
+		}
+	}
+}
+
+func TestScenarioTrainOffset(t *testing.T) {
+	s := BlinkingLight()
+	tr := s.Train(7 * time.Millisecond)
+	if got := tr.Bursts()[0].Start; got != 7*time.Millisecond {
+		t.Fatalf("first burst at %v, want 7ms", got)
+	}
+}
+
+func TestScenarioSpan(t *testing.T) {
+	s := Scenario{Phases: []ScenarioPhase{
+		{Burst: 10 * time.Millisecond, Reappearance: 90 * time.Millisecond, Count: 2},
+	}}
+	// Burst 0: [0,10); burst 1: [100,110). Span = 110ms.
+	if got := s.Span(); got != 110*time.Millisecond {
+		t.Fatalf("Span = %v, want 110ms", got)
+	}
+}

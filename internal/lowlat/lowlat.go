@@ -1,0 +1,332 @@
+// Package lowlat implements the system-level low-latency variant of the
+// protocol sketched in Sec. 10. By constraining the internal node scheduling
+// (every node's diagnostic job runs right before its own sending slot and
+// analysis is executed right after every slot), the detection latency drops
+// from four TDMA rounds to one round for diagnosis and two rounds for
+// membership, at the price of portability.
+//
+// Each node keeps a rolling local syndrome: entry j is its local verdict on
+// node j's most recent completed sending slot. The node broadcasts this
+// syndrome in its own slot, so the opinions about slot (j, round d) are
+// carried by the messages of nodes j+1..N in round d and nodes 1..j-1 in
+// round d+1. Right after slot j-1 of round d+1 completes, all N-1 external
+// opinions are available and the slot is diagnosed by the same hybrid
+// majority vote H-maj as the add-on protocol — exactly one round after the
+// diagnosed slot.
+package lowlat
+
+import (
+	"fmt"
+	"sort"
+
+	"ttdiag/internal/core"
+)
+
+// accusationRounds is how many rounds an accusation stays in the outgoing
+// rolling syndrome (membership mode), mirroring core's dissemination TTL.
+const accusationRounds = 2
+
+// accusationSkewRounds guards disagreement checks against entries whose
+// verdicts are still accusation-driven, as in the add-on protocol.
+const accusationSkewRounds = accusationRounds + 2
+
+// Config parameterises one node of the low-latency variant.
+type Config struct {
+	// N is the system size; ID this node's 1-based identifier.
+	N, ID int
+	// Mode selects plain diagnosis or the membership extension; zero means
+	// diagnostic.
+	Mode core.Mode
+	// PR tunes the penalty/reward algorithm applied to the verdict stream.
+	PR core.PRConfig
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("lowlat: need at least 2 nodes, got %d", c.N)
+	}
+	if c.ID < 1 || c.ID > c.N {
+		return fmt.Errorf("lowlat: node id %d out of range 1..%d", c.ID, c.N)
+	}
+	if c.Mode != 0 && c.Mode != core.ModeDiagnostic && c.Mode != core.ModeMembership {
+		return fmt.Errorf("lowlat: unknown mode %d", c.Mode)
+	}
+	return c.PR.Validate(c.N)
+}
+
+// Verdict is one agreed per-slot diagnosis.
+type Verdict struct {
+	// Node is the diagnosed node (slot owner), Round the diagnosed round.
+	Node, Round int
+	// Health is the agreed verdict.
+	Health core.Opinion
+	// Isolated/Reintegrated report penalty/reward transitions caused by
+	// this verdict.
+	Isolated, Reintegrated bool
+}
+
+// SlotInput describes one completed sending slot as observed by this node's
+// communication controller.
+type SlotInput struct {
+	// Round and Slot identify the completed transmission.
+	Round, Slot int
+	// Valid is the local validity bit for it.
+	Valid bool
+	// Payload is the decoded rolling syndrome it carried (nil when invalid
+	// or undecodable).
+	Payload core.Syndrome
+	// Collision resolves self-diagnosis during blackouts: the verdict of
+	// this node's own collision detector for its slot of a given round.
+	Collision core.CollisionFn
+}
+
+// Node is the per-node state machine of the low-latency variant. Feed every
+// completed slot (in global slot order) to OnSlot; stage the value returned
+// by Outgoing right before the node's own slot.
+type Node struct {
+	cfg Config
+	pr  *core.PenaltyReward
+
+	// obs[j] is this node's local opinion on j's most recent completed slot.
+	obs core.Syndrome
+	// carried[m] is the rolling syndrome most recently received from m (nil
+	// row = ε); carriedRound[m] is the round m sent it in.
+	carried      []core.Syndrome
+	carriedRound []int
+
+	// accuse[j] > 0 forces entry j to Faulty in the outgoing syndrome for
+	// that many more rounds (membership mode).
+	accuse []int
+	// accusedRound[j] is the round an accusation against j was last raised
+	// (-1<<30 when never), driving the skew guard.
+	accusedRound []int
+
+	// membership bookkeeping (membership mode).
+	excluded []bool
+	view     ViewState
+	history  []ViewState
+
+	started bool
+	lastInR int // round of the most recently consumed slot
+	lastInS int // slot index of the most recently consumed slot
+}
+
+// ViewState is the current membership view of the low-latency variant.
+type ViewState struct {
+	// ID increments per change; Members ascending; FormedAtRound is the
+	// round of the slot whose verdict triggered the change (-1 initially).
+	ID            int
+	Members       []int
+	FormedAtRound int
+}
+
+// NewNode builds the state machine.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Mode == 0 {
+		cfg.Mode = core.ModeDiagnostic
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pr, err := core.NewPenaltyReward(cfg.N, cfg.PR)
+	if err != nil {
+		return nil, err
+	}
+	members := make([]int, cfg.N)
+	for j := 1; j <= cfg.N; j++ {
+		members[j-1] = j
+	}
+	n := &Node{
+		cfg:          cfg,
+		pr:           pr,
+		obs:          core.NewSyndrome(cfg.N, core.Healthy),
+		carried:      make([]core.Syndrome, cfg.N+1),
+		carriedRound: make([]int, cfg.N+1),
+		accuse:       make([]int, cfg.N+1),
+		accusedRound: make([]int, cfg.N+1),
+		excluded:     make([]bool, cfg.N+1),
+		view:         ViewState{Members: members, FormedAtRound: -1},
+	}
+	for j := range n.accusedRound {
+		n.accusedRound[j] = -(1 << 30)
+	}
+	for j := 1; j <= cfg.N; j++ {
+		n.carried[j] = core.NewSyndrome(cfg.N, core.Healthy)
+		n.carriedRound[j] = -1
+	}
+	return n, nil
+}
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// PenaltyReward exposes the Alg. 2 state.
+func (n *Node) PenaltyReward() *core.PenaltyReward { return n.pr }
+
+// View returns the current membership view (membership mode).
+func (n *Node) View() ViewState {
+	v := n.view
+	v.Members = append([]int(nil), v.Members...)
+	return v
+}
+
+// ViewHistory returns every installed view, oldest first, including the
+// initial full view.
+func (n *Node) ViewHistory() []ViewState {
+	out := make([]ViewState, 0, len(n.history)+1)
+	for _, v := range n.history {
+		v.Members = append([]int(nil), v.Members...)
+		out = append(out, v)
+	}
+	return append(out, n.View())
+}
+
+// Outgoing returns the rolling syndrome this node must broadcast in its next
+// sending slot, with pending minority accusations merged in.
+func (n *Node) Outgoing() core.Syndrome {
+	out := n.obs.Clone()
+	if n.cfg.Mode == core.ModeMembership {
+		for j := 1; j <= n.cfg.N; j++ {
+			if n.accuse[j] > 0 {
+				out[j] = core.Faulty
+			}
+		}
+	}
+	return out
+}
+
+// TickRound decrements the accusation TTLs; call it once per round, after
+// the node's own slot has been staged.
+func (n *Node) TickRound() {
+	for j := 1; j <= n.cfg.N; j++ {
+		if n.accuse[j] > 0 {
+			n.accuse[j]--
+		}
+	}
+}
+
+// OnSlot consumes one completed slot observation and returns the verdict
+// that became decidable (the verdict for slot (Slot+1, Round-1), wrapping
+// over round boundaries), or nil while the pipeline is still filling.
+func (n *Node) OnSlot(in SlotInput) (*Verdict, error) {
+	if in.Slot < 1 || in.Slot > n.cfg.N {
+		return nil, fmt.Errorf("lowlat: slot %d out of range 1..%d", in.Slot, n.cfg.N)
+	}
+	if n.started {
+		wantR, wantS := n.lastInR, n.lastInS+1
+		if wantS > n.cfg.N {
+			wantR, wantS = wantR+1, 1
+		}
+		if in.Round != wantR || in.Slot != wantS {
+			return nil, fmt.Errorf("lowlat: slot (%d,%d) out of order, want (%d,%d)", in.Round, in.Slot, wantR, wantS)
+		}
+	}
+	n.started = true
+	n.lastInR, n.lastInS = in.Round, in.Slot
+
+	// Record the local observation and the carried syndrome.
+	if in.Valid {
+		n.obs[in.Slot] = core.Healthy
+		if in.Payload != nil && in.Payload.N() == n.cfg.N {
+			n.carried[in.Slot] = in.Payload.Clone()
+		} else {
+			n.carried[in.Slot] = nil
+		}
+	} else {
+		n.obs[in.Slot] = core.Faulty
+		n.carried[in.Slot] = nil
+	}
+	n.carriedRound[in.Slot] = in.Round
+
+	// The slot whose carrier set is now complete: (in.Slot+1, in.Round-1),
+	// or (1, in.Round) after the last slot of a round.
+	diagNode, diagRound := in.Slot+1, in.Round-1
+	if in.Slot == n.cfg.N {
+		diagNode, diagRound = 1, in.Round
+	}
+	if diagRound < 0 {
+		return nil, nil
+	}
+	return n.decide(diagNode, diagRound, in.Collision)
+}
+
+func (n *Node) decide(j, d int, collision core.CollisionFn) (*Verdict, error) {
+	votes := make([]core.Opinion, 0, n.cfg.N-1)
+	rowOf := make([]int, 0, n.cfg.N-1) // carrier of each vote, for accusations
+	for m := 1; m <= n.cfg.N; m++ {
+		if m == j {
+			continue
+		}
+		if m == n.cfg.ID {
+			votes = append(votes, n.obs[j])
+			rowOf = append(rowOf, m)
+			continue
+		}
+		// Carrier m's latest syndrome must refer to (j, d): it does iff it
+		// was sent in round d (for m > j) or d+1 (for m < j).
+		wantRound := d
+		if m < j {
+			wantRound = d + 1
+		}
+		if n.carried[m] == nil || n.carriedRound[m] != wantRound {
+			votes = append(votes, core.Erased)
+			rowOf = append(rowOf, m)
+			continue
+		}
+		votes = append(votes, n.carried[m][j])
+		rowOf = append(rowOf, m)
+	}
+	health, ok := core.HMaj(votes)
+	if !ok {
+		// Only self-diagnosis can be undecided (the node's own observation
+		// covers every other slot): fall back to the collision detector.
+		health = core.Healthy
+		if collision != nil && collision(d) == core.Faulty {
+			health = core.Faulty
+		}
+	}
+
+	v := &Verdict{Node: j, Round: d, Health: health}
+	v.Isolated, v.Reintegrated = n.pr.UpdateNode(j, health)
+
+	if n.cfg.Mode == core.ModeMembership {
+		n.membershipStep(j, d, health, votes, rowOf)
+	}
+	return v, nil
+}
+
+// membershipStep raises minority accusations against carriers that disagreed
+// with the agreed verdict and maintains the view.
+func (n *Node) membershipStep(j, d int, health core.Opinion, votes []core.Opinion, rowOf []int) {
+	if j == n.cfg.ID && health == core.Faulty {
+		// The node sees itself convicted: remember it so that later
+		// transition-round disagreements about its own entry do not make it
+		// counter-accuse honest carriers.
+		n.accusedRound[j] = d
+	}
+	guarded := d-n.accusedRound[j] <= accusationSkewRounds
+	if !guarded {
+		for i, m := range rowOf {
+			if m == n.cfg.ID || votes[i] == core.Erased || votes[i] == health {
+				continue
+			}
+			if n.accuse[m] == 0 {
+				n.accuse[m] = accusationRounds
+				n.accusedRound[m] = d
+			}
+		}
+	}
+	if health == core.Faulty && !n.excluded[j] {
+		n.excluded[j] = true
+		var members []int
+		for m := 1; m <= n.cfg.N; m++ {
+			if !n.excluded[m] {
+				members = append(members, m)
+			}
+		}
+		sort.Ints(members)
+		n.history = append(n.history, n.view)
+		n.view = ViewState{ID: n.view.ID + 1, Members: members, FormedAtRound: d}
+	}
+}

@@ -1,0 +1,299 @@
+package lowlat
+
+import (
+	"testing"
+
+	"ttdiag/internal/core"
+)
+
+func nodeCfg(id int) Config {
+	return Config{
+		N: 4, ID: id,
+		PR: core.PRConfig{PenaltyThreshold: 1 << 40, RewardThreshold: 1 << 40},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := nodeCfg(1).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{N: 1, ID: 1, PR: core.PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}},
+		{N: 4, ID: 0, PR: core.PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}},
+		{N: 4, ID: 5, PR: core.PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}},
+		{N: 4, ID: 1, Mode: 77, PR: core.PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}},
+		{N: 4, ID: 1, PR: core.PRConfig{PenaltyThreshold: -1, RewardThreshold: 1}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// feed runs one slot observation with an all-healthy carried syndrome.
+func feed(t *testing.T, n *Node, round, slot int, valid bool, payload core.Syndrome) *Verdict {
+	t.Helper()
+	v, err := n.OnSlot(SlotInput{Round: round, Slot: slot, Valid: valid, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func healthySyn() core.Syndrome { return core.NewSyndrome(4, core.Healthy) }
+
+func TestVerdictPipelineTiming(t *testing.T) {
+	n, err := NewNode(nodeCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0: slots 1..4 — no verdicts for round -1, except slot 4 decides
+	// (1, 0).
+	for slot := 1; slot <= 3; slot++ {
+		if v := feed(t, n, 0, slot, true, healthySyn()); v != nil {
+			t.Fatalf("premature verdict %+v", v)
+		}
+	}
+	v := feed(t, n, 0, 4, true, healthySyn())
+	if v == nil || v.Node != 1 || v.Round != 0 {
+		t.Fatalf("verdict after slot (0,4) = %+v, want node 1 round 0", v)
+	}
+	// Round 1 slot 1 decides (2, 0); ...; slot 3 decides (4, 0).
+	for slot := 1; slot <= 3; slot++ {
+		v := feed(t, n, 1, slot, true, healthySyn())
+		if v == nil || v.Node != slot+1 || v.Round != 0 {
+			t.Fatalf("verdict after slot (1,%d) = %+v, want node %d round 0", slot, v, slot+1)
+		}
+		if v.Health != core.Healthy {
+			t.Fatalf("healthy slot diagnosed %v", v.Health)
+		}
+	}
+}
+
+func TestOneRoundLatency(t *testing.T) {
+	// Every verdict (j, d) is decided N-1 slots after the diagnosed slot
+	// (right after slot j-1 of round d+1, the last carrier): within one TDMA
+	// round, the Sec. 10 latency claim.
+	n, err := NewNode(nodeCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		for slot := 1; slot <= 4; slot++ {
+			v := feed(t, n, round, slot, true, healthySyn())
+			if v == nil {
+				continue
+			}
+			decidedAt := round*4 + slot       // global slot index of decision
+			diagnosedAt := v.Round*4 + v.Node // global slot index of the slot
+			if lat := decidedAt - diagnosedAt; lat != 3 {
+				t.Fatalf("verdict (%d,%d) decided at slot index %d: latency %d slots, want 3 (N-1)",
+					v.Node, v.Round, decidedAt, lat)
+			}
+		}
+	}
+}
+
+func TestOutOfOrderSlotRejected(t *testing.T) {
+	n, err := NewNode(nodeCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, n, 0, 1, true, healthySyn())
+	if _, err := n.OnSlot(SlotInput{Round: 0, Slot: 3, Valid: true}); err == nil {
+		t.Fatal("skipped slot accepted")
+	}
+	if _, err := n.OnSlot(SlotInput{Round: 0, Slot: 9, Valid: true}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}
+
+func TestBenignFaultVerdict(t *testing.T) {
+	n, err := NewNode(nodeCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up round 0.
+	for slot := 1; slot <= 4; slot++ {
+		feed(t, n, 0, slot, true, healthySyn())
+	}
+	// Round 1: slot 3 benign faulty (invalid everywhere).
+	feed(t, n, 1, 1, true, healthySyn())
+	feed(t, n, 1, 2, true, healthySyn())
+	feed(t, n, 1, 3, false, nil)
+	feed(t, n, 1, 4, true, healthySyn())
+	// Carriers of (3,1): node 4 @1, nodes 1,2 @2; all report faulty.
+	accusing := core.NewSyndrome(4, core.Healthy)
+	accusing[3] = core.Faulty
+	feed(t, n, 2, 1, true, accusing)
+	v := feed(t, n, 2, 2, true, accusing)
+	if v == nil || v.Node != 3 || v.Round != 1 {
+		t.Fatalf("verdict = %+v, want (3,1)", v)
+	}
+	if v.Health != core.Faulty {
+		t.Fatalf("benign faulty slot diagnosed %v", v.Health)
+	}
+	// But wait: carrier 4's round-1 syndrome was sent at slot 4 *after*
+	// slot 3 failed, so it already accused; our own obs accuses too. The
+	// healthy carried syndromes fed for slots 1,2 of round 2 would be
+	// outvoted only if the vote is 2-2... the vote must still be Faulty
+	// because our own observation and carrier 4 agree. This is asserted
+	// above; here we additionally check the penalty counter moved.
+	if got := n.PenaltyReward().Penalty(3); got != 1 {
+		t.Fatalf("penalty(3) = %d, want 1", got)
+	}
+}
+
+func TestSelfDiagnosisFallback(t *testing.T) {
+	n, err := NewNode(nodeCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 1; slot <= 4; slot++ {
+		feed(t, n, 0, slot, true, healthySyn())
+	}
+	// Round 1: every slot invalid (blackout) — all carried rows lost.
+	for slot := 1; slot <= 4; slot++ {
+		feed(t, n, 1, slot, false, nil)
+	}
+	// Round 2 still silent. Deciding (2,1) happens after slot (2,1): the
+	// verdict about ourselves has no external opinions -> collision fallback.
+	collided := func(r int) core.Opinion {
+		if r == 1 {
+			return core.Faulty
+		}
+		return core.Healthy
+	}
+	v, err := n.OnSlot(SlotInput{Round: 2, Slot: 1, Valid: false, Collision: collided})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil || v.Node != 2 || v.Round != 1 {
+		t.Fatalf("verdict = %+v, want (2,1)", v)
+	}
+	if v.Health != core.Faulty {
+		t.Fatalf("self-diagnosis = %v, want Faulty via collision detector", v.Health)
+	}
+}
+
+func TestViewTracksExclusions(t *testing.T) {
+	cfg := nodeCfg(1)
+	cfg.Mode = core.ModeMembership
+	cfg.PR.PenaltyThreshold = 0
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.View(); got.ID != 0 || len(got.Members) != 4 {
+		t.Fatalf("initial view %+v", got)
+	}
+	for slot := 1; slot <= 4; slot++ {
+		feed(t, n, 0, slot, true, healthySyn())
+	}
+	feed(t, n, 1, 1, true, healthySyn())
+	feed(t, n, 1, 2, true, healthySyn())
+	feed(t, n, 1, 3, false, nil)
+	feed(t, n, 1, 4, true, healthySyn())
+	accusing := core.NewSyndrome(4, core.Healthy)
+	accusing[3] = core.Faulty
+	feed(t, n, 2, 1, true, accusing)
+	v := feed(t, n, 2, 2, true, accusing)
+	if v == nil || v.Health != core.Faulty {
+		t.Fatalf("verdict %+v", v)
+	}
+	view := n.View()
+	if view.ID != 1 {
+		t.Fatalf("view ID = %d", view.ID)
+	}
+	for _, m := range view.Members {
+		if m == 3 {
+			t.Fatal("excluded node still in view")
+		}
+	}
+	if !v.Isolated {
+		t.Fatal("P=0 verdict did not isolate")
+	}
+}
+
+func TestOutgoingMergesAccusations(t *testing.T) {
+	cfg := nodeCfg(1)
+	cfg.Mode = core.ModeMembership
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 1; slot <= 4; slot++ {
+		feed(t, n, 0, slot, true, healthySyn())
+	}
+	// Round 1: all valid, but carrier 4 claims node 2 faulty while the
+	// verdict will be healthy -> minority accusation against 4.
+	disagree := core.NewSyndrome(4, core.Healthy)
+	disagree[2] = core.Faulty
+	feed(t, n, 1, 1, true, healthySyn())
+	feed(t, n, 1, 2, true, healthySyn())
+	feed(t, n, 1, 3, true, healthySyn())
+	feed(t, n, 1, 4, true, disagree)
+	// Verdict (2,1) decided after slot (2,1): carriers 3,4 @1 and 1 @2.
+	v := feed(t, n, 2, 1, true, healthySyn())
+	if v == nil || v.Node != 2 || v.Health != core.Healthy {
+		t.Fatalf("verdict %+v", v)
+	}
+	out := n.Outgoing()
+	if out[4] != core.Faulty {
+		t.Fatalf("outgoing %v does not accuse the disagreeing carrier", out)
+	}
+	// The accusation expires after accusationRounds ticks.
+	n.TickRound()
+	n.TickRound()
+	if got := n.Outgoing(); got[4] != core.Healthy {
+		t.Fatalf("accusation did not expire: %v", got)
+	}
+}
+
+func TestOutgoingIsACopy(t *testing.T) {
+	n, err := NewNode(nodeCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := n.Outgoing()
+	out[1] = core.Faulty
+	if n.Outgoing()[1] != core.Healthy {
+		t.Fatal("Outgoing leaked internal state")
+	}
+}
+
+func TestViewHistory(t *testing.T) {
+	cfg := nodeCfg(1)
+	cfg.Mode = core.ModeMembership
+	cfg.PR.PenaltyThreshold = 0
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := n.ViewHistory(); len(h) != 1 || h[0].ID != 0 {
+		t.Fatalf("initial history = %+v", h)
+	}
+	for slot := 1; slot <= 4; slot++ {
+		feed(t, n, 0, slot, true, healthySyn())
+	}
+	feed(t, n, 1, 1, true, healthySyn())
+	feed(t, n, 1, 2, true, healthySyn())
+	feed(t, n, 1, 3, false, nil)
+	feed(t, n, 1, 4, true, healthySyn())
+	accusing := core.NewSyndrome(4, core.Healthy)
+	accusing[3] = core.Faulty
+	feed(t, n, 2, 1, true, accusing)
+	feed(t, n, 2, 2, true, accusing)
+	h := n.ViewHistory()
+	if len(h) != 2 {
+		t.Fatalf("history = %+v", h)
+	}
+	if len(h[0].Members) != 4 || len(h[1].Members) != 3 {
+		t.Fatalf("history members wrong: %+v", h)
+	}
+	h[0].Members[0] = 99
+	if n.ViewHistory()[0].Members[0] != 1 {
+		t.Fatal("ViewHistory leaked internal storage")
+	}
+}

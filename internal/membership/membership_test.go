@@ -1,0 +1,241 @@
+package membership
+
+import (
+	"fmt"
+	"testing"
+
+	"ttdiag/internal/core"
+)
+
+func cfg(id int) core.Config {
+	return core.Config{
+		N: 4, ID: id, L: id - 1, SendCurrRound: true, AllSendCurrRound: true,
+		PR: core.PRConfig{PenaltyThreshold: 1 << 40, RewardThreshold: 1 << 40},
+	}
+}
+
+func TestNewForcesMembershipMode(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Protocol().Config().Mode; got != core.ModeMembership {
+		t.Fatalf("mode = %d, want membership", got)
+	}
+}
+
+func TestNewRejectsDiagnosticMode(t *testing.T) {
+	c := cfg(1)
+	c.Mode = core.ModeDiagnostic
+	if _, err := New(c); err == nil {
+		t.Fatal("diagnostic mode accepted")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	c := cfg(1)
+	c.N = 1
+	if _, err := New(c); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestInitialView(t *testing.T) {
+	s, err := New(cfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	if v.ID != 0 || v.FormedAtRound != -1 {
+		t.Fatalf("initial view = %+v", v)
+	}
+	if got := fmt.Sprint(v.Members); got != "[1 2 3 4]" {
+		t.Fatalf("initial members = %v", got)
+	}
+	for j := 1; j <= 4; j++ {
+		if !v.Contains(j) {
+			t.Fatalf("initial view missing %d", j)
+		}
+	}
+	if v.Contains(5) {
+		t.Fatal("view contains node 5")
+	}
+}
+
+func TestViewIsACopy(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	v.Members[0] = 99
+	if s.View().Members[0] != 1 {
+		t.Fatal("View() leaked internal storage")
+	}
+}
+
+// step advances the service through one round with fabricated inputs that
+// mimic the real dissemination pipeline: validityFaulty marks senders whose
+// messages the node's controller locally detected as faulty this round;
+// rowsAccuse marks nodes that all received peer syndromes accuse (as they
+// would one round after a fault, once the peers' local syndromes carrying
+// the accusation arrive).
+func step(t *testing.T, s *Service, round int, validityFaulty, rowsAccuse []int) Output {
+	t.Helper()
+	in := core.RoundInput{
+		Round:    round,
+		DMs:      make([]core.Syndrome, 5),
+		Validity: core.NewSyndrome(4, core.Healthy),
+	}
+	for _, f := range validityFaulty {
+		in.Validity[f] = core.Faulty
+	}
+	row := core.NewSyndrome(4, core.Healthy)
+	for _, f := range rowsAccuse {
+		row[f] = core.Faulty
+	}
+	for j := 1; j <= 4; j++ {
+		if in.Validity[j] == core.Healthy {
+			in.DMs[j] = row.Clone()
+		}
+	}
+	out, err := s.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// runFaultEpisode drives the service through 12 rounds in which the given
+// nodes fail benignly in round 4 (observed in the local validity bits) and
+// the peers' syndromes accusing them arrive in round 5.
+func runFaultEpisode(t *testing.T, s *Service, faulty ...int) (changedRounds []int) {
+	t.Helper()
+	for round := 0; round < 12; round++ {
+		var out Output
+		switch round {
+		case 4:
+			out = step(t, s, round, faulty, nil)
+		case 5:
+			out = step(t, s, round, nil, faulty)
+		default:
+			out = step(t, s, round, nil, nil)
+		}
+		if out.ViewChanged {
+			changedRounds = append(changedRounds, round)
+		}
+	}
+	return changedRounds
+}
+
+func TestViewChangeOnConsistentFault(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := runFaultEpisode(t, s, 3)
+	if len(changed) != 1 {
+		t.Fatalf("view changed in rounds %v, want exactly one change", changed)
+	}
+	v := s.View()
+	if got := fmt.Sprint(v.Members); got != "[1 2 4]" {
+		t.Fatalf("members = %v", got)
+	}
+	if v.ID != 1 {
+		t.Fatalf("view ID = %d, want 1", v.ID)
+	}
+	if v.FormedAtRound != changed[0] {
+		t.Fatalf("FormedAtRound = %d, change observed at %d", v.FormedAtRound, changed[0])
+	}
+	// The accusing rows arrive at round 5, so the vote convicting node 3
+	// happens in that same execution round.
+	if changed[0] != 5 {
+		t.Fatalf("view formed at round %d, want 5", changed[0])
+	}
+}
+
+func TestExclusionIsPermanent(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFaultEpisode(t, s, 3)
+	// Eight further clean rounds already ran inside the episode; more:
+	for round := 12; round < 24; round++ {
+		step(t, s, round, nil, nil)
+	}
+	if s.View().Contains(3) {
+		t.Fatal("excluded node returned to the view")
+	}
+	if s.View().ID != 1 {
+		t.Fatalf("view ID = %d after recovery rounds, want 1", s.View().ID)
+	}
+}
+
+func TestMultipleExclusionsInOneRound(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := runFaultEpisode(t, s, 3, 4)
+	v := s.View()
+	if got := fmt.Sprint(v.Members); got != "[1 2]" {
+		t.Fatalf("members = %v", got)
+	}
+	if v.ID != 1 || len(changed) != 1 {
+		t.Fatalf("two coincident exclusions must form one view: ID=%d changes=%v", v.ID, changed)
+	}
+}
+
+func TestStepPropagatesProtocolError(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Step(core.RoundInput{Round: 7})
+	if err == nil {
+		t.Fatal("bad input accepted")
+	}
+}
+
+func TestViewHistory(t *testing.T) {
+	s, err := New(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.History()
+	if len(h) != 1 || h[0].ID != 0 {
+		t.Fatalf("initial history = %+v", h)
+	}
+	runFaultEpisode(t, s, 3)
+	// Second episode excluding node 4.
+	for round := 12; round < 24; round++ {
+		switch round {
+		case 16:
+			step(t, s, round, []int{4}, nil)
+		case 17:
+			step(t, s, round, nil, []int{4})
+		default:
+			step(t, s, round, nil, nil)
+		}
+	}
+	h = s.History()
+	if len(h) != 3 {
+		t.Fatalf("history has %d views, want 3: %+v", len(h), h)
+	}
+	if fmt.Sprint(h[0].Members) != "[1 2 3 4]" ||
+		fmt.Sprint(h[1].Members) != "[1 2 4]" ||
+		fmt.Sprint(h[2].Members) != "[1 2]" {
+		t.Fatalf("history members wrong: %+v", h)
+	}
+	for i, v := range h {
+		if v.ID != i {
+			t.Fatalf("history IDs not sequential: %+v", h)
+		}
+	}
+	// History returns copies.
+	h[1].Members[0] = 99
+	if s.History()[1].Members[0] != 1 {
+		t.Fatal("History leaked internal storage")
+	}
+}

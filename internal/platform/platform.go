@@ -1,0 +1,174 @@
+// Package platform provides representative configuration profiles of the
+// time-triggered platforms the paper targets (Sec. 1 and Sec. 10): FlexRay,
+// TTP/C, SAFEbus and TT-Ethernet. The add-on protocol only consumes
+// observables every TT platform provides (validity bits, a collision
+// detector, the schedule constants l_i / send_curr_round_i), so the same
+// protocol code must run unchanged on all profiles — which the portability
+// experiment and tests assert.
+//
+// The profiles are representative syntheses of the public platform
+// characteristics (cluster sizes and cycle lengths), not bit-level models of
+// the wire protocols: the diagnostic protocol never looks below the
+// interface-variable abstraction, so nothing below it matters for the
+// reproduction.
+package platform
+
+import (
+	"fmt"
+	"time"
+
+	"ttdiag/internal/sim"
+)
+
+// Profile describes one TT platform deployment.
+type Profile struct {
+	// Name of the platform.
+	Name string
+	// N is a typical cluster size on the platform.
+	N int
+	// RoundLen is a typical TDMA round (communication cycle) length.
+	RoundLen time.Duration
+	// SlotLens optionally declares heterogeneous per-slot frame lengths
+	// (ARINC-659-style tables); when set it overrides the uniform division
+	// of RoundLen and must sum to it.
+	SlotLens []time.Duration
+	// BuiltinMembership records whether the platform ships its own
+	// membership service (Sec. 1: FlexRay, SAFEbus and TT-Ethernet do not,
+	// which is what makes the add-on protocol attractive there).
+	BuiltinMembership bool
+	// Notes is a one-line characterisation.
+	Notes string
+}
+
+// FlexRay returns a representative FlexRay deployment: automotive X-by-wire
+// cluster, 5 ms communication cycle, no standardized membership service.
+func FlexRay() Profile {
+	return Profile{
+		Name:     "FlexRay",
+		N:        10,
+		RoundLen: 5 * time.Millisecond,
+		Notes:    "automotive; static segment slots; no built-in membership",
+	}
+}
+
+// TTPC returns a representative TTP/C deployment: the paper's prototype
+// dimensions (layered TTP, 4 nodes, 2.5 ms round) with the platform's
+// built-in membership available as a baseline.
+func TTPC() Profile {
+	return Profile{
+		Name:              "TTP/C",
+		N:                 4,
+		RoundLen:          2500 * time.Microsecond,
+		BuiltinMembership: true,
+		Notes:             "the paper's prototype; built-in single-fault membership",
+	}
+}
+
+// SAFEbus returns a representative SAFEbus (ARINC 659) deployment: avionics
+// backplane, small frame times.
+func SAFEbus() Profile {
+	// ARINC 659 frames vary per message; the table below sums to the 1 ms
+	// frame and exercises the heterogeneous-slot support.
+	return Profile{
+		Name:     "SAFEbus",
+		N:        8,
+		RoundLen: 1 * time.Millisecond,
+		SlotLens: []time.Duration{
+			200 * time.Microsecond, 100 * time.Microsecond,
+			150 * time.Microsecond, 50 * time.Microsecond,
+			150 * time.Microsecond, 100 * time.Microsecond,
+			150 * time.Microsecond, 100 * time.Microsecond,
+		},
+		Notes: "avionics backplane; paired BIUs; heterogeneous frame table",
+	}
+}
+
+// TTEthernet returns a representative TT-Ethernet deployment: larger cluster
+// and cycle.
+func TTEthernet() Profile {
+	return Profile{
+		Name:     "TT-Ethernet",
+		N:        16,
+		RoundLen: 8 * time.Millisecond,
+		Notes:    "switched TT traffic class; no built-in membership",
+	}
+}
+
+// All returns every profile.
+func All() []Profile {
+	return []Profile{TTPC(), FlexRay(), SAFEbus(), TTEthernet()}
+}
+
+// Validate checks that the profile yields a legal TDMA schedule.
+func (p Profile) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("platform: %s: need at least 2 nodes, got %d", p.Name, p.N)
+	}
+	if p.RoundLen <= 0 {
+		return fmt.Errorf("platform: %s: round length %v", p.Name, p.RoundLen)
+	}
+	if len(p.SlotLens) > 0 {
+		if len(p.SlotLens) != p.N {
+			return fmt.Errorf("platform: %s: %d slot lengths for %d nodes", p.Name, len(p.SlotLens), p.N)
+		}
+		var sum time.Duration
+		for _, l := range p.SlotLens {
+			if l <= 0 {
+				return fmt.Errorf("platform: %s: non-positive slot length", p.Name)
+			}
+			sum += l
+		}
+		if sum != p.RoundLen {
+			return fmt.Errorf("platform: %s: slot lengths sum to %v, round is %v", p.Name, sum, p.RoundLen)
+		}
+		return nil
+	}
+	if p.RoundLen%time.Duration(p.N) != 0 {
+		return fmt.Errorf("platform: %s: round %v not divisible into %d slots", p.Name, p.RoundLen, p.N)
+	}
+	return nil
+}
+
+// SlotLen returns the sending-slot length of the profile (the shortest slot
+// on heterogeneous tables).
+func (p Profile) SlotLen() time.Duration {
+	if len(p.SlotLens) > 0 {
+		min := p.SlotLens[0]
+		for _, l := range p.SlotLens[1:] {
+			if l < min {
+				min = l
+			}
+		}
+		return min
+	}
+	return p.RoundLen / time.Duration(p.N)
+}
+
+// ClusterConfig builds a simulation configuration for the profile with the
+// given penalty/reward settings left zero (detection-only defaults).
+func (p Profile) ClusterConfig() sim.ClusterConfig {
+	return sim.ClusterConfig{
+		N:        p.N,
+		RoundLen: p.RoundLen,
+		SlotLens: p.SlotLens,
+		// Unconstrained prototype-style scheduling: job positions spread
+		// across the round, deliberately mixing send_curr_round values to
+		// exercise the portable (k-3) path.
+		Ls: spreadSchedule(p.N),
+	}
+}
+
+// spreadSchedule assigns job positions that alternate between "right after
+// round start" and "late in the round", giving a mix of send_curr_round
+// truth values like a real integration would.
+func spreadSchedule(n int) []int {
+	ls := make([]int, n)
+	for i := range ls {
+		if i%2 == 0 {
+			ls[i] = 0
+		} else {
+			ls[i] = n - 1
+		}
+	}
+	return ls
+}

@@ -1,0 +1,207 @@
+// Package recovery closes the FDIR loop the paper's diagnosis feeds ("the
+// key purpose of a diagnostic protocol is to trigger correct and timely
+// recovery/maintenance actions", Sec. 1): a static reconfiguration plan maps
+// the agreed activity vector to an operating mode — which application jobs
+// run where, possibly degraded — and a per-node manager switches modes as
+// isolation and reintegration decisions arrive.
+//
+// Because every obedient node computes identical activity vectors in
+// identical rounds (Alg. 1), all managers switch to the same mode in the
+// same round without any extra agreement protocol: the consistency of the
+// diagnosis is exactly what makes static TT reconfiguration tables safe.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Job is an application function with a criticality class.
+type Job struct {
+	// Name identifies the job.
+	Name string
+	// Criticality is the job's s_i level (higher = more critical).
+	Criticality int64
+	// Hosts lists the nodes able to run the job, in preference order; the
+	// first active host wins.
+	Hosts []int
+	// Degradable marks jobs that may be shed entirely when no host is
+	// active (non-safety-relevant functions); a non-degradable job with no
+	// active host puts the mode in the Unsafe state.
+	Degradable bool
+}
+
+// Assignment maps each job to the node running it (0 = shed).
+type Assignment map[string]int
+
+// Mode is one operating mode of the reconfiguration plan.
+type Mode struct {
+	// Active is the activity vector the mode corresponds to (1-based).
+	Active []bool
+	// Jobs is the job-to-host assignment in this mode.
+	Jobs Assignment
+	// Unsafe reports that a non-degradable job has no active host: the
+	// system must transition to its safe state (e.g. mechanical fallback).
+	Unsafe bool
+}
+
+// Plan is the static reconfiguration table: jobs plus the rule deriving the
+// mode for an activity vector. Plans are computed at design time in real
+// deployments; here the derivation is executed on demand and memoised.
+type Plan struct {
+	n    int
+	jobs []Job
+	memo map[string]Mode
+}
+
+// NewPlan validates the job table for an n-node system.
+func NewPlan(n int, jobs []Job) (*Plan, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("recovery: need at least 2 nodes, got %d", n)
+	}
+	seen := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		if j.Name == "" {
+			return nil, fmt.Errorf("recovery: job with empty name")
+		}
+		if seen[j.Name] {
+			return nil, fmt.Errorf("recovery: duplicate job %q", j.Name)
+		}
+		seen[j.Name] = true
+		if len(j.Hosts) == 0 {
+			return nil, fmt.Errorf("recovery: job %q has no hosts", j.Name)
+		}
+		for _, h := range j.Hosts {
+			if h < 1 || h > n {
+				return nil, fmt.Errorf("recovery: job %q host %d out of range 1..%d", j.Name, h, n)
+			}
+		}
+		if j.Criticality < 1 {
+			return nil, fmt.Errorf("recovery: job %q criticality %d must be >= 1", j.Name, j.Criticality)
+		}
+	}
+	return &Plan{n: n, jobs: append([]Job(nil), jobs...), memo: make(map[string]Mode)}, nil
+}
+
+// Jobs returns the job table.
+func (p *Plan) Jobs() []Job { return append([]Job(nil), p.jobs...) }
+
+// ModeFor derives the operating mode for an activity vector (1-based, as
+// produced by the protocol). The derivation is deterministic, so identical
+// activity vectors — which Alg. 1 guarantees across obedient nodes — yield
+// identical modes everywhere.
+func (p *Plan) ModeFor(active []bool) (Mode, error) {
+	if len(active) != p.n+1 {
+		return Mode{}, fmt.Errorf("recovery: activity vector covers %d nodes, want %d", len(active)-1, p.n)
+	}
+	key := activityKey(active)
+	if m, ok := p.memo[key]; ok {
+		return m, nil
+	}
+	mode := Mode{
+		Active: append([]bool(nil), active...),
+		Jobs:   make(Assignment, len(p.jobs)),
+	}
+	for _, j := range p.jobs {
+		host := 0
+		for _, h := range j.Hosts {
+			if active[h] {
+				host = h
+				break
+			}
+		}
+		mode.Jobs[j.Name] = host
+		if host == 0 && !j.Degradable {
+			mode.Unsafe = true
+		}
+	}
+	p.memo[key] = mode
+	return mode, nil
+}
+
+// Manager tracks the operating mode of one node as activity vectors arrive.
+type Manager struct {
+	plan *Plan
+	mode Mode
+	key  string
+	// switches counts mode changes (excluding initialisation).
+	switches int
+	init     bool
+}
+
+// NewManager builds a manager over the plan.
+func NewManager(plan *Plan) *Manager {
+	return &Manager{plan: plan}
+}
+
+// Observe feeds one activity vector; it returns true when the operating
+// mode changed (including the initial mode installation; only subsequent
+// changes count as Switches).
+func (m *Manager) Observe(active []bool) (changed bool, err error) {
+	key := activityKey(active)
+	if m.init && key == m.key {
+		return false, nil
+	}
+	mode, err := m.plan.ModeFor(active)
+	if err != nil {
+		return false, err
+	}
+	first := !m.init
+	m.mode, m.key, m.init = mode, key, true
+	if !first {
+		m.switches++
+	}
+	return true, nil
+}
+
+// Mode returns the current operating mode.
+func (m *Manager) Mode() Mode { return m.mode }
+
+// Switches returns how many mode changes happened after initialisation.
+func (m *Manager) Switches() int { return m.switches }
+
+// HostOf returns the node currently running the job (0 = shed/unknown).
+func (m *Manager) HostOf(job string) int {
+	if m.mode.Jobs == nil {
+		return 0
+	}
+	return m.mode.Jobs[job]
+}
+
+// Describe renders the current assignment compactly, jobs sorted by name.
+func (m *Manager) Describe() string {
+	if m.mode.Jobs == nil {
+		return "(uninitialised)"
+	}
+	names := make([]string, 0, len(m.mode.Jobs))
+	for name := range m.mode.Jobs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names)+1)
+	for _, name := range names {
+		host := m.mode.Jobs[name]
+		if host == 0 {
+			parts = append(parts, name+"->shed")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s->n%d", name, host))
+	}
+	if m.mode.Unsafe {
+		parts = append(parts, "UNSAFE")
+	}
+	return strings.Join(parts, " ")
+}
+
+func activityKey(active []bool) string {
+	b := make([]byte, len(active))
+	for i, a := range active {
+		if a {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}

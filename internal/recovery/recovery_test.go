@@ -1,0 +1,172 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+)
+
+func xByWirePlan(t *testing.T) *Plan {
+	t.Helper()
+	plan, err := NewPlan(4, []Job{
+		{Name: "steer", Criticality: 40, Hosts: []int{1, 3}},
+		{Name: "brake", Criticality: 40, Hosts: []int{2, 4}},
+		{Name: "stability", Criticality: 6, Hosts: []int{3}, Degradable: true},
+		{Name: "doors", Criticality: 1, Hosts: []int{4, 3}, Degradable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func act(n int, down ...int) []bool {
+	a := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		a[i] = true
+	}
+	for _, d := range down {
+		a[d] = false
+	}
+	return a
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		jobs []Job
+	}{
+		{name: "small_n", n: 1, jobs: []Job{{Name: "x", Criticality: 1, Hosts: []int{1}}}},
+		{name: "empty_name", n: 4, jobs: []Job{{Criticality: 1, Hosts: []int{1}}}},
+		{name: "dup_name", n: 4, jobs: []Job{
+			{Name: "x", Criticality: 1, Hosts: []int{1}},
+			{Name: "x", Criticality: 1, Hosts: []int{2}},
+		}},
+		{name: "no_hosts", n: 4, jobs: []Job{{Name: "x", Criticality: 1}}},
+		{name: "bad_host", n: 4, jobs: []Job{{Name: "x", Criticality: 1, Hosts: []int{5}}}},
+		{name: "bad_criticality", n: 4, jobs: []Job{{Name: "x", Hosts: []int{1}}}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewPlan(tt.n, tt.jobs); err == nil {
+				t.Fatal("invalid plan accepted")
+			}
+		})
+	}
+}
+
+func TestModeForNominal(t *testing.T) {
+	plan := xByWirePlan(t)
+	mode, err := plan.ModeFor(act(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Unsafe {
+		t.Fatal("nominal mode unsafe")
+	}
+	want := Assignment{"steer": 1, "brake": 2, "stability": 3, "doors": 4}
+	for job, host := range want {
+		if mode.Jobs[job] != host {
+			t.Errorf("%s on node %d, want %d", job, mode.Jobs[job], host)
+		}
+	}
+}
+
+func TestModeForFailover(t *testing.T) {
+	plan := xByWirePlan(t)
+	mode, err := plan.ModeFor(act(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Jobs["steer"] != 3 {
+		t.Fatalf("steer on node %d after primary loss, want 3", mode.Jobs["steer"])
+	}
+	if mode.Unsafe {
+		t.Fatal("failover mode unsafe")
+	}
+	// Losing node 3 as well sheds stability (degradable) and moves steer
+	// nowhere -> unsafe.
+	mode, err = plan.ModeFor(act(4, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode.Jobs["steer"] != 0 || !mode.Unsafe {
+		t.Fatalf("mode = %+v, want steer shed and unsafe", mode)
+	}
+	if mode.Jobs["stability"] != 0 {
+		t.Fatal("degradable job not shed")
+	}
+	if mode.Jobs["doors"] != 4 {
+		t.Fatalf("doors on node %d, want 4", mode.Jobs["doors"])
+	}
+}
+
+func TestModeForSizeMismatch(t *testing.T) {
+	plan := xByWirePlan(t)
+	if _, err := plan.ModeFor(make([]bool, 3)); err == nil {
+		t.Fatal("short activity vector accepted")
+	}
+}
+
+func TestManagerModeSwitching(t *testing.T) {
+	plan := xByWirePlan(t)
+	m := NewManager(plan)
+	if got := m.Describe(); got != "(uninitialised)" {
+		t.Fatalf("Describe = %q", got)
+	}
+	changed, err := m.Observe(act(4))
+	if err != nil || !changed {
+		t.Fatalf("initial observe: changed=%v err=%v", changed, err)
+	}
+	if m.Switches() != 0 {
+		t.Fatalf("initialisation counted as a switch")
+	}
+	// Same vector: no change.
+	if changed, _ := m.Observe(act(4)); changed {
+		t.Fatal("no-op observation changed the mode")
+	}
+	// Node 1 isolated: failover.
+	changed, err = m.Observe(act(4, 1))
+	if err != nil || !changed {
+		t.Fatalf("failover observe: changed=%v err=%v", changed, err)
+	}
+	if m.Switches() != 1 {
+		t.Fatalf("switches = %d, want 1", m.Switches())
+	}
+	if m.HostOf("steer") != 3 {
+		t.Fatalf("steer host = %d", m.HostOf("steer"))
+	}
+	// Reintegration: back to nominal.
+	if changed, _ := m.Observe(act(4)); !changed {
+		t.Fatal("reintegration did not change the mode")
+	}
+	if m.HostOf("steer") != 1 {
+		t.Fatalf("steer host after reintegration = %d", m.HostOf("steer"))
+	}
+	if m.HostOf("unknown") != 0 {
+		t.Fatal("unknown job has a host")
+	}
+}
+
+func TestManagerDescribe(t *testing.T) {
+	plan := xByWirePlan(t)
+	m := NewManager(plan)
+	if _, err := m.Observe(act(4, 1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Describe()
+	for _, want := range []string{"steer->shed", "brake->n2", "doors->n4", "UNSAFE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestPlanJobsCopy(t *testing.T) {
+	plan := xByWirePlan(t)
+	jobs := plan.Jobs()
+	jobs[0].Name = "mutated"
+	if plan.Jobs()[0].Name == "mutated" {
+		t.Fatal("Jobs leaked internal storage")
+	}
+}

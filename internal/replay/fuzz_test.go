@@ -1,0 +1,36 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTranscript checks that arbitrary transcript bytes never panic the
+// parser and that accepted logs are internally consistent.
+func FuzzReadTranscript(f *testing.F) {
+	f.Add(`{"round":0,"slot":1,"valid":[false,true,true,true,true]}`)
+	f.Add(`{"round":3,"slot":4,"payload":"Dw==","valid":[false,true,false,true,true],"collision":true}`)
+	f.Add("not json at all")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		log, err := Read(strings.NewReader(input), 4)
+		if err != nil {
+			return
+		}
+		if log.N() != 4 {
+			t.Fatalf("accepted log has N=%d", log.N())
+		}
+		for round := 0; round <= log.LastRound() && round < 64; round++ {
+			for slot := 1; slot <= 4; slot++ {
+				if rec, ok := log.At(round, slot); ok {
+					if rec.Slot != slot || rec.Round != round {
+						t.Fatalf("record misfiled: %+v at (%d,%d)", rec, round, slot)
+					}
+					if len(rec.Valid) != 5 {
+						t.Fatalf("accepted record with %d validity entries", len(rec.Valid))
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	s1 := NewSource(42).Stream("bus")
+	s2 := NewSource(42).Stream("bus")
+	for i := 0; i < 1000; i++ {
+		if got, want := s1.Uint64(), s2.Uint64(); got != want {
+			t.Fatalf("draw %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestStreamIndependenceByName(t *testing.T) {
+	src := NewSource(42)
+	a := src.Stream("bus")
+	b := src.Stream("payload")
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different names produced %d identical draws out of %d", same, n)
+	}
+}
+
+func TestStreamIndependenceBySeed(t *testing.T) {
+	a := NewSource(1).Stream("bus")
+	b := NewSource(2).Stream("bus")
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds produced %d identical draws out of %d", same, n)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	st := NewStream(7)
+	const (
+		rate = 4.0
+		n    = 200000
+	)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += st.Exp(rate)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("exponential mean = %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestExpNonPositiveRate(t *testing.T) {
+	st := NewStream(7)
+	if v := st.Exp(0); !math.IsInf(v, 1) {
+		t.Fatalf("Exp(0) = %v, want +Inf", v)
+	}
+	if v := st.Exp(-1); !math.IsInf(v, 1) {
+		t.Fatalf("Exp(-1) = %v, want +Inf", v)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	tests := []struct {
+		name string
+		mean float64
+	}{
+		{name: "small", mean: 0.5},
+		{name: "moderate", mean: 12},
+		{name: "large_normal_approx", mean: 900},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			st := NewStream(11)
+			const n = 100000
+			sum := 0.0
+			for i := 0; i < n; i++ {
+				sum += float64(st.Poisson(tt.mean))
+			}
+			got := sum / n
+			tol := 0.05 * tt.mean
+			if tol < 0.02 {
+				tol = 0.02
+			}
+			if math.Abs(got-tt.mean) > tol {
+				t.Fatalf("Poisson mean = %v, want ~%v", got, tt.mean)
+			}
+		})
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	st := NewStream(3)
+	if got := st.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := st.Poisson(-2); got != 0 {
+		t.Fatalf("Poisson(-2) = %d, want 0", got)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	st := NewStream(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if st.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v, want ~0.25", frac)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	st := NewStream(9)
+	if err := quick.Check(func(raw uint16) bool {
+		n := int(raw%100) + 1
+		v := st.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesFills(t *testing.T) {
+	st := NewStream(13)
+	b := make([]byte, 256)
+	st.Bytes(b)
+	zero := 0
+	for _, x := range b {
+		if x == 0 {
+			zero++
+		}
+	}
+	if zero == len(b) {
+		t.Fatal("Bytes left the whole buffer zero")
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	st := NewStream(15)
+	for i := 0; i < 1000; i++ {
+		if v := st.Int63n(7); v < 0 || v >= 7 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/membership"
+	"ttdiag/internal/tdma"
+)
+
+func newSchedule(cfg ClusterConfig) (*tdma.Schedule, error) {
+	if len(cfg.SlotLens) > 0 {
+		if len(cfg.SlotLens) != cfg.N {
+			return nil, fmt.Errorf("sim: SlotLens has %d entries, want %d", len(cfg.SlotLens), cfg.N)
+		}
+		return tdma.NewCustomSchedule(cfg.SlotLens)
+	}
+	return tdma.NewSchedule(cfg.N, cfg.RoundLen)
+}
+
+func tdmaID(id int) tdma.NodeID { return tdma.NodeID(id) }
+
+// Isolation records one isolation (or reintegration) decision.
+type Isolation struct {
+	// Observer is the node that took the decision.
+	Observer int
+	// Node is the isolated node.
+	Node int
+	// Round is the execution round of the decision.
+	Round int
+}
+
+// Collector gathers per-round protocol outputs from a cluster for auditing
+// and metric extraction. Install its hooks before running the engine.
+type Collector struct {
+	// ConsHV[diagnosedRound][observer] is the consistent health vector the
+	// observer computed for that round.
+	ConsHV map[int]map[int]core.Syndrome
+	// Isolations and Reintegrations in decision order.
+	Isolations     []Isolation
+	Reintegrations []Isolation
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{ConsHV: make(map[int]map[int]core.Syndrome)}
+}
+
+// HookDiag installs the collector on a DiagRunner.
+func (c *Collector) HookDiag(observer int, r *DiagRunner) {
+	r.OnOutput = func(out core.RoundOutput) { c.record(observer, out) }
+}
+
+// HookMembership installs the collector on a MembershipRunner.
+func (c *Collector) HookMembership(observer int, r *MembershipRunner) {
+	r.OnOutput = func(out membership.Output) { c.record(observer, out.Diag) }
+}
+
+func (c *Collector) record(observer int, out core.RoundOutput) {
+	if out.ConsHV != nil {
+		byObs := c.ConsHV[out.DiagnosedRound]
+		if byObs == nil {
+			byObs = make(map[int]core.Syndrome)
+			c.ConsHV[out.DiagnosedRound] = byObs
+		}
+		byObs[observer] = out.ConsHV
+	}
+	for _, j := range out.Isolated {
+		c.Isolations = append(c.Isolations, Isolation{Observer: observer, Node: j, Round: out.Round})
+	}
+	for _, j := range out.Reintegrated {
+		c.Reintegrations = append(c.Reintegrations, Isolation{Observer: observer, Node: j, Round: out.Round})
+	}
+}
+
+// FirstIsolation returns the earliest round in which any observer isolated
+// the given node, or -1.
+func (c *Collector) FirstIsolation(nodeID int) int {
+	first := -1
+	for _, iso := range c.Isolations {
+		if iso.Node != nodeID {
+			continue
+		}
+		if first == -1 || iso.Round < first {
+			first = iso.Round
+		}
+	}
+	return first
+}
+
+// FirstIsolationTime converts FirstIsolation into simulated time using the
+// engine's schedule (the start of the decision round), or -1 if never.
+func (c *Collector) FirstIsolationTime(nodeID int, sched *tdma.Schedule) time.Duration {
+	round := c.FirstIsolation(nodeID)
+	if round < 0 {
+		return -1
+	}
+	return sched.RoundStart(round)
+}
+
+// AuditTheorem1 checks the three properties of the consistent health vector
+// (Theorem 1) on every diagnosed round in [fromRound, toRound):
+//
+//   - consistency: every obedient observer produced the same vector;
+//   - completeness: ground-truth benign faulty senders are diagnosed faulty;
+//   - correctness: ground-truth correct senders are diagnosed healthy.
+//
+// Rounds with asymmetric or malicious ground truth are only checked for
+// consistency, as the theorem allows either agreed verdict there. The
+// obedient slice lists the observers whose outputs are trustworthy (all
+// nodes, in campaigns without Byzantine protocol instances).
+func AuditTheorem1(eng *Engine, col *Collector, obedient []int, fromRound, toRound int) error {
+	for d := fromRound; d < toRound; d++ {
+		truth := eng.Truth(d)
+		if truth == nil {
+			return fmt.Errorf("sim: no ground truth for round %d", d)
+		}
+		byObs := col.ConsHV[d]
+		if byObs == nil {
+			return fmt.Errorf("sim: no health vectors recorded for round %d", d)
+		}
+		var ref core.Syndrome
+		var refObs int
+		for _, obs := range obedient {
+			hv, ok := byObs[obs]
+			if !ok {
+				return fmt.Errorf("sim: observer %d produced no health vector for round %d", obs, d)
+			}
+			if ref == nil {
+				ref, refObs = hv, obs
+				continue
+			}
+			if !hv.Equal(ref) {
+				return fmt.Errorf("sim: consistency violated for round %d: observer %d says %v, observer %d says %v",
+					d, refObs, ref, obs, hv)
+			}
+		}
+		for slot := 1; slot < len(truth); slot++ {
+			switch truth[slot] {
+			case tdma.OutcomeBenign:
+				if ref[slot] != core.Faulty {
+					return fmt.Errorf("sim: completeness violated: round %d node %d was benign faulty but diagnosed %v",
+						d, slot, ref[slot])
+				}
+			case tdma.OutcomeCorrect:
+				if ref[slot] != core.Healthy {
+					return fmt.Errorf("sim: correctness violated: round %d node %d was correct but diagnosed %v",
+						d, slot, ref[slot])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AuditTheorem2 checks the membership service's guaranteed properties over a
+// run (Theorem 2) for a single asymmetric-fault episode:
+//
+//   - liveness: once a locally detectable message is received (faultRound),
+//     every obedient observer installs a new view within two protocol
+//     executions (2·(lag+1) rounds);
+//   - agreement: all obedient observers hold identical view histories
+//     (same IDs, members and formation rounds) — the observable core of
+//     view synchrony.
+func AuditTheorem2(runners []*MembershipRunner, obedient []int, faultRound, lag int) error {
+	if len(obedient) == 0 {
+		return fmt.Errorf("sim: no obedient observers")
+	}
+	ref := runners[obedient[0]].Service().History()
+	for _, obs := range obedient[1:] {
+		h := runners[obs].Service().History()
+		if len(h) != len(ref) {
+			return fmt.Errorf("sim: observer %d has %d views, observer %d has %d",
+				obs, len(h), obedient[0], len(ref))
+		}
+		for i := range h {
+			if h[i].ID != ref[i].ID || h[i].FormedAtRound != ref[i].FormedAtRound {
+				return fmt.Errorf("sim: view %d disagrees between observers %d and %d", i, obedient[0], obs)
+			}
+			if len(h[i].Members) != len(ref[i].Members) {
+				return fmt.Errorf("sim: view %d members differ between observers %d and %d", i, obedient[0], obs)
+			}
+			for m := range h[i].Members {
+				if h[i].Members[m] != ref[i].Members[m] {
+					return fmt.Errorf("sim: view %d members differ between observers %d and %d", i, obedient[0], obs)
+				}
+			}
+		}
+	}
+	if len(ref) < 2 {
+		return fmt.Errorf("sim: liveness violated: no view change after the fault")
+	}
+	formed := ref[len(ref)-1].FormedAtRound
+	if deadline := faultRound + 2*(lag+1); formed > deadline {
+		return fmt.Errorf("sim: liveness violated: view formed at round %d, deadline %d", formed, deadline)
+	}
+	return nil
+}

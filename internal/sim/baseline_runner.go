@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"ttdiag/internal/baseline"
+)
+
+// NewTTPCCluster wires an engine with one TTP/C-style membership node per
+// slot (the baseline comparator). Like the low-latency variant, the TTP/C
+// C-state must be staged right before the node's own slot, so the staircase
+// schedule is forced.
+func NewTTPCCluster(cfg ClusterConfig) (*Engine, []*baseline.TTPCNode, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := newSchedule(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := NewEngine(sched, cfg.Sink)
+	nodes := make([]*baseline.TTPCNode, cfg.N+1)
+	for id := 1; id <= cfg.N; id++ {
+		n, err := baseline.NewTTPCNode(cfg.N, id)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := eng.AddNode(tdmaID(id), id-1, n); err != nil {
+			return nil, nil, err
+		}
+		nodes[id] = n
+	}
+	// Bootstrap: every controller stages the initial full membership vector.
+	for id := 1; id <= cfg.N; id++ {
+		payload, err := nodes[id].Run(0, eng.Controller(tdmaID(id)))
+		if err != nil {
+			return nil, nil, err
+		}
+		eng.Controller(tdmaID(id)).WriteInterface(payload)
+	}
+	return eng, nodes, nil
+}

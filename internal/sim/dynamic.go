@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/tdma"
+)
+
+// NewDynamicDiagnosticCluster wires an engine in which every node's
+// diagnostic job executes at a different position each round:
+// position(id, round) plays the role of the schedule information the OS
+// provides at run time under dynamic node scheduling (Sec. 10).
+//
+// Soundness requires two things, both enforced here:
+//
+//   - each node's read point is pinned to round start (the engine captures
+//     an interface snapshot before slot 1, core runs with Dynamic set), so
+//     the wandering execution time cannot lose interface values;
+//   - each node's position stays on a fixed side of its own sending slot
+//     (sides[id-1], true = always before the slot, i.e. send_curr_round),
+//     because the transmission round of a staged write must be static for
+//     send alignment. A position crossing the declared side fails the
+//     round with an explicit error.
+func NewDynamicDiagnosticCluster(cfg ClusterConfig, sides []bool, position func(id, round int) int) (*Engine, []*DiagRunner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if position == nil {
+		return nil, nil, fmt.Errorf("sim: dynamic cluster needs a position function")
+	}
+	if len(sides) != cfg.N {
+		return nil, nil, fmt.Errorf("sim: sides has %d entries, want %d", len(sides), cfg.N)
+	}
+	for id := 1; id <= cfg.N; id++ {
+		if cfg.AllSendCurrRound && !sides[id-1] {
+			return nil, nil, fmt.Errorf("sim: AllSendCurrRound set but node %d is scheduled after its slot", id)
+		}
+		if !sides[id-1] && id == cfg.N {
+			return nil, nil, fmt.Errorf("sim: node %d owns the last slot and cannot be scheduled after it", id)
+		}
+	}
+	sched, err := newSchedule(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := NewEngine(sched, cfg.Sink)
+	runners := make([]*DiagRunner, cfg.N+1)
+	for id := 1; id <= cfg.N; id++ {
+		id := id
+		scr := sides[id-1]
+		nodeCfg := core.Config{
+			N:                cfg.N,
+			ID:               id,
+			Dynamic:          true,
+			SendCurrRound:    scr,
+			AllSendCurrRound: cfg.AllSendCurrRound,
+			Mode:             core.ModeDiagnostic,
+			PR:               cfg.PR,
+		}
+		r, err := NewDiagRunner(nodeCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		posFn := func(round int) (int, error) {
+			p := position(id, round)
+			if scr && p >= id {
+				return 0, fmt.Errorf("job position %d is after the node's slot, but the node declared send_curr_round", p)
+			}
+			if !scr && p < id {
+				return 0, fmt.Errorf("job position %d is before the node's slot, but the node declared !send_curr_round", p)
+			}
+			return p, nil
+		}
+		if err := eng.AddDynamicNode(tdma.NodeID(id), posFn, r); err != nil {
+			return nil, nil, err
+		}
+		runners[id] = r
+	}
+	bootstrapOutboxes(eng, cfg.N)
+	return eng, runners, nil
+}

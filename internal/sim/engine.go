@@ -1,0 +1,229 @@
+// Package sim provides the deterministic lock-step simulation engine: it
+// drives a TDMA bus and the per-node application jobs through rounds,
+// honouring each node's internal schedule (the position l_i of its
+// diagnostic job within the round), records ground truth for every
+// transmission, and offers audit helpers that check the protocol's
+// correctness, completeness and consistency properties against that ground
+// truth (Theorem 1).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"ttdiag/internal/tdma"
+	"ttdiag/internal/trace"
+)
+
+// Runner is a per-node application job executed once per round at the node's
+// schedule position. The returned payload, if non-nil, is written to the
+// node's interface variable (and transmitted at the node's next sending
+// slot, subject to send alignment handled by the protocol itself).
+type Runner interface {
+	Run(round int, ctrl *tdma.Controller) ([]byte, error)
+}
+
+// SlotObserver is implemented by runners that additionally process every
+// completed sending slot (the constrained-scheduling low-latency variant of
+// Sec. 10). OnSlotComplete is called right after each slot transmission,
+// with the observing node's own controller.
+type SlotObserver interface {
+	OnSlotComplete(round, slot int, ctrl *tdma.Controller) error
+}
+
+// SnapshotTaker is implemented by runners of dynamically scheduled nodes:
+// the engine invokes CaptureSnapshot at the start of every round (before
+// slot 1 transmits), pinning the node's interface read point independently
+// of when its job executes.
+type SnapshotTaker interface {
+	CaptureSnapshot(round int, ctrl *tdma.Controller)
+}
+
+// node binds a runner to its controller and schedule position. pos returns
+// the diagnostic job's position for a given round (constant for static
+// schedules, OS-provided for dynamic ones); an error fails the round.
+type node struct {
+	id     tdma.NodeID
+	pos    func(round int) (int, error)
+	ctrl   *tdma.Controller
+	runner Runner
+}
+
+// Engine is the lock-step round executor.
+type Engine struct {
+	sched *tdma.Schedule
+	bus   *tdma.Bus
+	nodes []*node // 1-based
+	sink  trace.Sink
+	round int
+
+	// OnReport, when set, observes every slot transmission report (used by
+	// the flight-recorder tooling in internal/replay).
+	OnReport func(*tdma.TxReport)
+
+	// truth[round][slot] is the ground-truth outcome class of each
+	// transmission; truth[round][0] is unused.
+	truth [][]tdma.OutcomeClass
+}
+
+// NewEngine builds an engine over a fresh bus for the given schedule.
+func NewEngine(sched *tdma.Schedule, sink trace.Sink) *Engine {
+	if sink == nil {
+		sink = trace.Discard{}
+	}
+	return &Engine{
+		sched: sched,
+		bus:   tdma.NewBus(sched, sink),
+		nodes: make([]*node, sched.N()+1),
+		sink:  sink,
+	}
+}
+
+// Bus returns the engine's bus (to attach disturbances).
+func (e *Engine) Bus() *tdma.Bus { return e.bus }
+
+// Schedule returns the global communication schedule.
+func (e *Engine) Schedule() *tdma.Schedule { return e.sched }
+
+// Round returns the next round to execute.
+func (e *Engine) Round() int { return e.round }
+
+// AddNode registers a runner for node id with diagnostic-job position l
+// (the node's l_i: its job runs right after slot l of each round).
+func (e *Engine) AddNode(id tdma.NodeID, l int, runner Runner) error {
+	if l < 0 || l > e.sched.N()-1 {
+		return fmt.Errorf("sim: node %d job position %d out of range 0..%d", id, l, e.sched.N()-1)
+	}
+	return e.AddDynamicNode(id, func(int) (int, error) { return l, nil }, runner)
+}
+
+// AddDynamicNode registers a runner whose job position varies per round
+// (dynamic node scheduling, Sec. 10). pos(round) must return a position in
+// [0, N-1]; a position error or an out-of-range position fails the round.
+func (e *Engine) AddDynamicNode(id tdma.NodeID, pos func(round int) (int, error), runner Runner) error {
+	if id < 1 || int(id) > e.sched.N() {
+		return fmt.Errorf("sim: node id %d out of range 1..%d", id, e.sched.N())
+	}
+	if pos == nil {
+		return fmt.Errorf("sim: node %d: nil position function", id)
+	}
+	if e.nodes[id] != nil {
+		return fmt.Errorf("sim: node %d already added", id)
+	}
+	ctrl, err := tdma.NewController(id, e.sched.N())
+	if err != nil {
+		return err
+	}
+	if err := e.bus.Attach(ctrl); err != nil {
+		return err
+	}
+	e.nodes[id] = &node{id: id, pos: pos, ctrl: ctrl, runner: runner}
+	return nil
+}
+
+// Controller returns node id's communication controller.
+func (e *Engine) Controller(id tdma.NodeID) *tdma.Controller {
+	if id < 1 || int(id) >= len(e.nodes) || e.nodes[id] == nil {
+		return nil
+	}
+	return e.nodes[id].ctrl
+}
+
+// JobTime returns the simulated time at which the job of a node with
+// position l executes in the given round (right after slot l completes).
+func (e *Engine) JobTime(round, l int) time.Duration {
+	if l <= 0 {
+		return e.sched.RoundStart(round)
+	}
+	_, end := e.sched.SlotWindow(round, l)
+	return end
+}
+
+// RunRound executes one TDMA round: slot transmissions in slot order,
+// interleaved with the node jobs at their schedule positions.
+func (e *Engine) RunRound() error {
+	n := e.sched.N()
+	for id := 1; id <= n; id++ {
+		if e.nodes[id] == nil {
+			return fmt.Errorf("sim: node %d missing", id)
+		}
+	}
+	k := e.round
+	rt := make([]tdma.OutcomeClass, n+1)
+	positions := make([]int, n+1)
+	for id := 1; id <= n; id++ {
+		p, err := e.nodes[id].pos(k)
+		if err != nil {
+			return fmt.Errorf("sim: round %d node %d: %w", k, id, err)
+		}
+		if p < 0 || p > n-1 {
+			return fmt.Errorf("sim: round %d node %d: job position %d out of range 0..%d", k, id, p, n-1)
+		}
+		positions[id] = p
+	}
+	for id := 1; id <= n; id++ {
+		if st, ok := e.nodes[id].runner.(SnapshotTaker); ok {
+			st.CaptureSnapshot(k, e.nodes[id].ctrl)
+		}
+	}
+	for pos := 0; pos <= n; pos++ {
+		for id := 1; id <= n; id++ {
+			nd := e.nodes[id]
+			if positions[id] != pos {
+				continue
+			}
+			e.sink.Record(trace.Event{
+				At: e.JobTime(k, pos), Round: k, Kind: trace.KindJobRun, Node: id,
+			})
+			payload, err := nd.runner.Run(k, nd.ctrl)
+			if err != nil {
+				return fmt.Errorf("sim: round %d node %d job: %w", k, id, err)
+			}
+			if payload != nil {
+				nd.ctrl.WriteInterface(payload)
+			}
+		}
+		if pos == n {
+			break
+		}
+		report, err := e.bus.TransmitSlot(k, pos+1)
+		if err != nil {
+			return fmt.Errorf("sim: round %d slot %d: %w", k, pos+1, err)
+		}
+		rt[pos+1] = report.Classify()
+		if e.OnReport != nil {
+			e.OnReport(report)
+		}
+		for id := 1; id <= n; id++ {
+			so, ok := e.nodes[id].runner.(SlotObserver)
+			if !ok {
+				continue
+			}
+			if err := so.OnSlotComplete(k, pos+1, e.nodes[id].ctrl); err != nil {
+				return fmt.Errorf("sim: round %d slot %d observer %d: %w", k, pos+1, id, err)
+			}
+		}
+	}
+	e.truth = append(e.truth, rt)
+	e.round++
+	return nil
+}
+
+// RunRounds executes the given number of rounds.
+func (e *Engine) RunRounds(count int) error {
+	for i := 0; i < count; i++ {
+		if err := e.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truth returns the ground-truth outcome classes of the given executed round
+// (1-based by slot), or nil if the round has not been executed.
+func (e *Engine) Truth(round int) []tdma.OutcomeClass {
+	if round < 0 || round >= len(e.truth) {
+		return nil
+	}
+	return e.truth[round]
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/fault"
+	"ttdiag/internal/lowlat"
+	"ttdiag/internal/rng"
+	"ttdiag/internal/tdma"
+)
+
+// verdictLog gathers the verdict streams of all nodes, keyed by diagnosed
+// (round, node).
+type verdictLog struct {
+	byKey map[[2]int]map[int]core.Opinion // (round,node) -> observer -> health
+}
+
+func hookVerdicts(runners []*LowLatRunner) *verdictLog {
+	vl := &verdictLog{byKey: make(map[[2]int]map[int]core.Opinion)}
+	for id := 1; id < len(runners); id++ {
+		id := id
+		runners[id].OnVerdict = func(v lowlat.Verdict) {
+			key := [2]int{v.Round, v.Node}
+			if vl.byKey[key] == nil {
+				vl.byKey[key] = make(map[int]core.Opinion)
+			}
+			vl.byKey[key][id] = v.Health
+		}
+	}
+	return vl
+}
+
+// agreed asserts all observers agree on the verdict for (round, node) and
+// returns it.
+func (vl *verdictLog) agreed(t *testing.T, round, node int, observers []int) core.Opinion {
+	t.Helper()
+	byObs := vl.byKey[[2]int{round, node}]
+	if byObs == nil {
+		t.Fatalf("no verdicts for (%d,%d)", round, node)
+	}
+	var ref core.Opinion
+	for i, obs := range observers {
+		h, ok := byObs[obs]
+		if !ok {
+			t.Fatalf("observer %d has no verdict for (%d,%d)", obs, round, node)
+		}
+		if i == 0 {
+			ref = h
+			continue
+		}
+		if h != ref {
+			t.Fatalf("verdicts for (%d,%d) disagree: %v", round, node, byObs)
+		}
+	}
+	return ref
+}
+
+func TestLowLatFaultFree(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl := hookVerdicts(runners)
+	if err := eng.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round < 10; round++ {
+		for node := 1; node <= 4; node++ {
+			if got := vl.agreed(t, round, node, obedientAll(4)); got != core.Healthy {
+				t.Fatalf("fault-free slot (%d,%d) diagnosed %v", round, node, got)
+			}
+		}
+	}
+}
+
+func TestLowLatBenignFaultOneRoundLatency(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl := hookVerdicts(runners)
+	// Track the round in which each node DECIDES the verdict for the faulty
+	// slot (3, 6).
+	decidedRound := make(map[int]int)
+	for id := 1; id <= 4; id++ {
+		id := id
+		prev := runners[id].OnVerdict
+		runners[id].OnVerdict = func(v lowlat.Verdict) {
+			prev(v)
+			if v.Round == 6 && v.Node == 3 {
+				decidedRound[id] = eng.Round()
+			}
+		}
+	}
+	eng.Bus().AddDisturbance(fault.NewTrain(fault.SlotBurst(eng.Schedule(), 6, 3, 1)))
+	if err := eng.RunRounds(14); err != nil {
+		t.Fatal(err)
+	}
+	if got := vl.agreed(t, 6, 3, obedientAll(4)); got != core.Faulty {
+		t.Fatalf("faulty slot diagnosed %v", got)
+	}
+	for id := 1; id <= 4; id++ {
+		if decidedRound[id] != 7 {
+			t.Fatalf("node %d decided slot (6,3) during round %d, want 7 (one-round latency)",
+				id, decidedRound[id])
+		}
+	}
+	// Neighbouring slots stay healthy (correctness).
+	for _, node := range []int{1, 2, 4} {
+		if got := vl.agreed(t, 6, node, obedientAll(4)); got != core.Healthy {
+			t.Fatalf("node %d wrongly diagnosed %v", node, got)
+		}
+	}
+}
+
+func TestLowLatBlackoutSelfDiagnosis(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl := hookVerdicts(runners)
+	eng.Bus().AddDisturbance(fault.NewTrain(fault.Blackout(eng.Schedule(), 6, 2)))
+	if err := eng.RunRounds(14); err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range []int{6, 7} {
+		for node := 1; node <= 4; node++ {
+			if got := vl.agreed(t, round, node, obedientAll(4)); got != core.Faulty {
+				t.Fatalf("blackout slot (%d,%d) diagnosed %v", round, node, got)
+			}
+		}
+	}
+	for node := 1; node <= 4; node++ {
+		if got := vl.agreed(t, 9, node, obedientAll(4)); got != core.Healthy {
+			t.Fatalf("post-blackout slot (9,%d) diagnosed %v", node, got)
+		}
+	}
+}
+
+func TestLowLatMaliciousTolerance(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl := hookVerdicts(runners)
+	eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(2, rng.NewSource(5).Stream("mal")))
+	if err := eng.RunRounds(20); err != nil {
+		t.Fatal(err)
+	}
+	obedient := []int{1, 3, 4}
+	for round := 1; round < 18; round++ {
+		for node := 1; node <= 4; node++ {
+			if got := vl.agreed(t, round, node, obedient); got != core.Healthy {
+				t.Fatalf("malicious syndromes induced conviction of (%d,%d)", round, node)
+			}
+		}
+	}
+}
+
+// TestLowLatMembershipTwoRounds checks the Sec. 10 claim that the
+// constrained variant provides membership within two rounds: an asymmetric
+// fault at round 8 leads every obedient node to exclude the minority node
+// no later than diagnosed round 10.
+func TestLowLatMembershipTwoRounds(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{Mode: core.ModeMembership})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const faultRound = 8
+	eng.Bus().AddDisturbance(fault.ReceiverBlind{
+		Receiver: 1, Senders: []tdma.NodeID{3},
+		FromRound: faultRound, ToRound: faultRound + 1,
+	})
+	if err := eng.RunRounds(24); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 4; id++ {
+		v := runners[id].Node().View()
+		if got := fmt.Sprint(v.Members); got != "[2 3 4]" {
+			t.Fatalf("node %d view = %v, want [2 3 4]", id, got)
+		}
+		if v.FormedAtRound > faultRound+2 {
+			t.Fatalf("node %d view formed for diagnosed round %d, want <= %d (two-round membership)",
+				id, v.FormedAtRound, faultRound+2)
+		}
+		if v.ID != runners[1].Node().View().ID {
+			t.Fatalf("view IDs disagree")
+		}
+	}
+}
+
+func TestLowLatIsolationAgreement(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{
+		PR: core.PRConfig{PenaltyThreshold: 3, RewardThreshold: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isoRound := make(map[int]int)
+	for id := 1; id <= 4; id++ {
+		id := id
+		runners[id].OnVerdict = func(v lowlat.Verdict) {
+			if v.Isolated {
+				if _, dup := isoRound[id]; dup {
+					t.Errorf("node %d isolated twice", id)
+				}
+				isoRound[id] = v.Round
+			}
+		}
+	}
+	eng.Bus().AddDisturbance(fault.Crash(4, 8))
+	if err := eng.RunRounds(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(isoRound) != 4 {
+		t.Fatalf("isolation decisions: %v, want all 4 nodes", isoRound)
+	}
+	for id, r := range isoRound {
+		// P=3: the 4th faulty slot of node 4 is in round 11.
+		if r != 11 {
+			t.Fatalf("node %d isolated for diagnosed round %d, want 11", id, r)
+		}
+	}
+	for id := 1; id <= 3; id++ {
+		if !eng.Controller(tdma.NodeID(id)).Ignored(4) {
+			t.Fatalf("node %d does not ignore the isolated node", id)
+		}
+	}
+}
+
+// TestLowLatLargerCluster runs the constrained variant at N=8.
+func TestLowLatLargerCluster(t *testing.T) {
+	eng, runners, err := NewLowLatCluster(ClusterConfig{N: 8, RoundLen: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl := hookVerdicts(runners)
+	eng.Bus().AddDisturbance(fault.NewTrain(fault.SlotBurst(eng.Schedule(), 6, 5, 1)))
+	if err := eng.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	obedient := obedientAll(8)
+	if got := vl.agreed(t, 6, 5, obedient); got != core.Faulty {
+		t.Fatalf("faulty slot diagnosed %v", got)
+	}
+	for node := 1; node <= 8; node++ {
+		if node == 5 {
+			continue
+		}
+		if got := vl.agreed(t, 6, node, obedient); got != core.Healthy {
+			t.Fatalf("node %d wrongly diagnosed", node)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/membership"
+	"ttdiag/internal/tdma"
+)
+
+// buildRoundInput converts a live controller snapshot into the protocol's
+// round input.
+func buildRoundInput(round, n int, ctrl *tdma.Controller) core.RoundInput {
+	values, valid := ctrl.Snapshot()
+	return buildInput(round, n, values, valid, ctrl)
+}
+
+// buildInput converts interface-variable values and validity bits (from a
+// live read or a stored round-start snapshot) into the protocol's round
+// input: decoded diagnostic messages (nil = ε for invalid or undecodable
+// payloads), the validity-bit vector, and the collision-detector query.
+func buildInput(round, n int, values [][]byte, valid []bool, ctrl *tdma.Controller) core.RoundInput {
+	in := core.RoundInput{
+		Round:    round,
+		DMs:      make([]core.Syndrome, n+1),
+		Validity: core.NewSyndrome(n, core.Healthy),
+	}
+	for j := 1; j <= n; j++ {
+		if !valid[j] {
+			in.Validity[j] = core.Faulty
+			continue
+		}
+		s, err := core.DecodeSyndrome(values[j], n)
+		if err != nil {
+			// A syntactically wrong payload is locally detectable.
+			in.Validity[j] = core.Faulty
+			continue
+		}
+		in.DMs[j] = s
+	}
+	in.Collision = func(r int) core.Opinion {
+		if collided, ok := ctrl.Collision(r); ok && collided {
+			return core.Faulty
+		}
+		return core.Healthy
+	}
+	return in
+}
+
+// applyActivity propagates the protocol's activity vector into the node's
+// controller: traffic from isolated nodes is ignored, reintegrated nodes are
+// heard again. When the reintegration extension is enabled (observe), the
+// controller keeps listening to isolated nodes so that their fault-free
+// behaviour can be observed and rewarded; the activity vector still tells
+// the applications the node is down.
+func applyActivity(ctrl *tdma.Controller, active []bool, observe bool) {
+	for j := 1; j < len(active); j++ {
+		ctrl.SetIgnored(tdma.NodeID(j), !active[j] && !observe)
+	}
+}
+
+// DiagRunner adapts a core.Protocol to the engine: it snapshots the
+// controller, steps the protocol, applies isolation decisions to the
+// controller, and stages the dissemination payload.
+type DiagRunner struct {
+	proto *core.Protocol
+	last  core.RoundOutput
+	// OnOutput, when set, observes every round output (used by collectors).
+	OnOutput func(core.RoundOutput)
+
+	// Round-start interface snapshot, captured by the engine for
+	// dynamically scheduled nodes (core.Config.Dynamic).
+	snapRound  int
+	snapValues [][]byte
+	snapValid  []bool
+	haveSnap   bool
+}
+
+// CaptureSnapshot implements SnapshotTaker: it pins the node's read point to
+// round start, which is what makes dynamic execution times sound (see
+// core.Config.Dynamic).
+func (r *DiagRunner) CaptureSnapshot(round int, ctrl *tdma.Controller) {
+	if !r.proto.Config().Dynamic {
+		return
+	}
+	r.snapValues, r.snapValid = ctrl.Snapshot()
+	r.snapRound = round
+	r.haveSnap = true
+}
+
+var _ Runner = (*DiagRunner)(nil)
+
+// NewDiagRunner builds the runner and its protocol instance.
+func NewDiagRunner(cfg core.Config) (*DiagRunner, error) {
+	proto, err := core.NewProtocol(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DiagRunner{proto: proto}, nil
+}
+
+// Protocol returns the wrapped protocol.
+func (r *DiagRunner) Protocol() *core.Protocol { return r.proto }
+
+// Last returns the most recent round output.
+func (r *DiagRunner) Last() core.RoundOutput { return r.last }
+
+// Run implements Runner.
+func (r *DiagRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
+	var in core.RoundInput
+	if r.proto.Config().Dynamic {
+		if !r.haveSnap || r.snapRound != round {
+			return nil, fmt.Errorf("sim: node %d: dynamic protocol without a round-%d snapshot", r.proto.Config().ID, round)
+		}
+		in = buildInput(round, r.proto.Config().N, r.snapValues, r.snapValid, ctrl)
+	} else {
+		in = buildRoundInput(round, r.proto.Config().N, ctrl)
+	}
+	out, err := r.proto.Step(in)
+	if err != nil {
+		return nil, err
+	}
+	applyActivity(ctrl, out.Active, r.proto.Config().PR.ReintegrationThreshold > 0)
+	r.last = out
+	if r.OnOutput != nil {
+		r.OnOutput(out)
+	}
+	return out.Send, nil
+}
+
+// MembershipRunner adapts a membership.Service to the engine.
+type MembershipRunner struct {
+	svc  *membership.Service
+	last membership.Output
+	// OnOutput, when set, observes every round output.
+	OnOutput func(membership.Output)
+}
+
+var _ Runner = (*MembershipRunner)(nil)
+
+// NewMembershipRunner builds the runner and its membership service.
+func NewMembershipRunner(cfg core.Config) (*MembershipRunner, error) {
+	svc, err := membership.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MembershipRunner{svc: svc}, nil
+}
+
+// Service returns the wrapped membership service.
+func (r *MembershipRunner) Service() *membership.Service { return r.svc }
+
+// Last returns the most recent round output.
+func (r *MembershipRunner) Last() membership.Output { return r.last }
+
+// View returns the node's current membership view.
+func (r *MembershipRunner) View() membership.View { return r.svc.View() }
+
+// Run implements Runner.
+func (r *MembershipRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
+	in := buildRoundInput(round, r.svc.Protocol().Config().N, ctrl)
+	out, err := r.svc.Step(in)
+	if err != nil {
+		return nil, err
+	}
+	applyActivity(ctrl, out.Diag.Active, r.svc.Protocol().Config().PR.ReintegrationThreshold > 0)
+	r.last = out
+	if r.OnOutput != nil {
+		r.OnOutput(out)
+	}
+	return out.Diag.Send, nil
+}

@@ -1,0 +1,107 @@
+// Package stats provides the small summary-statistics toolkit the
+// experiment harness uses: order statistics, mean/deviation, and duration
+// summaries for Monte-Carlo batches.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary aggregates a sample of float64 observations.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean, StdDev are the sample mean and (population) standard deviation.
+	Mean, StdDev float64
+	// Min, P25, P50, P75, P95, Max are order statistics.
+	Min, P25, P50, P75, P95, Max float64
+}
+
+// Summarize computes a Summary; an empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sqSum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(len(sorted))
+	for _, x := range sorted {
+		d := x - mean
+		sqSum += d * d
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		StdDev: math.Sqrt(sqSum / float64(len(sorted))),
+		Min:    sorted[0],
+		P25:    Quantile(sorted, 0.25),
+		P50:    Quantile(sorted, 0.50),
+		P75:    Quantile(sorted, 0.75),
+		P95:    Quantile(sorted, 0.95),
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation between closest ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// DurationSummary is a Summary over time.Duration samples.
+type DurationSummary struct {
+	N                            int
+	Mean, StdDev                 time.Duration
+	Min, P25, P50, P75, P95, Max time.Duration
+}
+
+// SummarizeDurations computes a DurationSummary.
+func SummarizeDurations(ds []time.Duration) DurationSummary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	s := Summarize(xs)
+	return DurationSummary{
+		N:      s.N,
+		Mean:   time.Duration(s.Mean),
+		StdDev: time.Duration(s.StdDev),
+		Min:    time.Duration(s.Min),
+		P25:    time.Duration(s.P25),
+		P50:    time.Duration(s.P50),
+		P75:    time.Duration(s.P75),
+		P95:    time.Duration(s.P95),
+		Max:    time.Duration(s.Max),
+	}
+}
+
+// String renders the central statistics compactly.
+func (d DurationSummary) String() string {
+	if d.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v [%v, %v]", d.N, d.Mean, d.P50, d.P95, d.Min, d.Max)
+}

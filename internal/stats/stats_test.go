@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 2.5 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if want := math.Sqrt(1.25); math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.75, 40},
+		{0.1, 14}, {-0.5, 10}, {1.5, 50},
+	}
+	for _, tt := range tests {
+		if got := Quantile(sorted, tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v", got)
+	}
+}
+
+// Property: order statistics are ordered and bounded by the sample range.
+func TestSummaryOrderingProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.P25 && s.P25 <= s.P50 && s.P50 <= s.P75 &&
+			s.P75 <= s.P95 && s.P95 <= s.Max
+		bounded := s.Mean >= s.Min && s.Mean <= s.Max && s.StdDev >= 0
+		return ordered && bounded
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	d := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if d.N != 2 || d.Mean != 2*time.Second || d.Min != time.Second || d.Max != 3*time.Second {
+		t.Fatalf("summary = %+v", d)
+	}
+	str := d.String()
+	for _, want := range []string{"n=2", "mean=2s", "p50=2s"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+	if got := SummarizeDurations(nil).String(); got != "n=0" {
+		t.Errorf("empty String() = %q", got)
+	}
+}

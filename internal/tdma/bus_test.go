@@ -1,0 +1,389 @@
+package tdma
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ttdiag/internal/trace"
+)
+
+func newTestBus(t *testing.T, n int) (*Bus, []*Controller) {
+	t.Helper()
+	sched := MustSchedule(n, time.Duration(n)*625*time.Microsecond)
+	bus := NewBus(sched, nil)
+	ctrls := make([]*Controller, n+1)
+	for id := 1; id <= n; id++ {
+		c, err := NewController(NodeID(id), n)
+		if err != nil {
+			t.Fatalf("NewController(%d): %v", id, err)
+		}
+		if err := bus.Attach(c); err != nil {
+			t.Fatalf("Attach(%d): %v", id, err)
+		}
+		ctrls[id] = c
+	}
+	return bus, ctrls
+}
+
+func TestFaultFreeBroadcastUpdatesAllReceivers(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	ctrls[2].WriteInterface([]byte{0xAB})
+	rep, err := bus.TransmitSlot(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Classify(); got != OutcomeCorrect {
+		t.Fatalf("Classify() = %v, want correct", got)
+	}
+	if rep.Collision {
+		t.Fatal("unexpected collision on clean bus")
+	}
+	for id := 1; id <= 4; id++ {
+		v, ok := ctrls[id].ReadValue(2)
+		if !ok {
+			t.Fatalf("node %d: validity bit not set", id)
+		}
+		if len(v) != 1 || v[0] != 0xAB {
+			t.Fatalf("node %d: got payload %v", id, v)
+		}
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 4); err == nil {
+		t.Error("id 0 accepted")
+	}
+	if _, err := NewController(5, 4); err == nil {
+		t.Error("id beyond N accepted")
+	}
+	if _, err := NewController(1, 1); err == nil {
+		t.Error("1-node system accepted")
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	sched := MustSchedule(4, 2500*time.Microsecond)
+	bus := NewBus(sched, nil)
+	c, _ := NewController(1, 4)
+	if err := bus.Attach(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(c); err == nil {
+		t.Error("double attach accepted")
+	}
+	wrong, _ := NewController(1, 6)
+	if err := bus.Attach(wrong); err == nil {
+		t.Error("controller with wrong N accepted")
+	}
+}
+
+func TestTransmitSlotRequiresAllControllers(t *testing.T) {
+	sched := MustSchedule(4, 2500*time.Microsecond)
+	bus := NewBus(sched, nil)
+	c, _ := NewController(1, 4)
+	if err := bus.Attach(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.TransmitSlot(0, 1); err == nil {
+		t.Error("transmit with missing controllers accepted")
+	}
+	if _, err := bus.TransmitSlot(0, 9); err == nil {
+		t.Error("invalid slot accepted")
+	}
+}
+
+// dropAll invalidates every delivery and trips the collision detector,
+// emulating a bus-wide disturbance.
+type dropAll struct{}
+
+func (dropAll) Deliver(*Transmission, NodeID, Delivery) Delivery { return Delivery{} }
+func (dropAll) SenderCollision(*Transmission, bool) bool         { return true }
+
+func TestBenignFaultClearsValidityEverywhere(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	bus.AddDisturbance(dropAll{})
+	ctrls[3].WriteInterface([]byte{1})
+	rep, err := bus.TransmitSlot(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Classify(); got != OutcomeBenign {
+		t.Fatalf("Classify() = %v, want benign", got)
+	}
+	if !rep.Collision {
+		t.Fatal("collision detector did not trip")
+	}
+	for id := 1; id <= 4; id++ {
+		if _, ok := ctrls[id].ReadValue(3); ok {
+			t.Fatalf("node %d: validity bit still set", id)
+		}
+	}
+	collided, ok := ctrls[3].Collision(5)
+	if !ok || !collided {
+		t.Fatalf("sender collision history = (%v,%v), want (true,true)", collided, ok)
+	}
+}
+
+// blindOne invalidates deliveries to a single receiver (asymmetric fault).
+type blindOne struct{ rcv NodeID }
+
+func (b blindOne) Deliver(_ *Transmission, rcv NodeID, d Delivery) Delivery {
+	if rcv == b.rcv {
+		return Delivery{}
+	}
+	return d
+}
+func (blindOne) SenderCollision(_ *Transmission, c bool) bool { return c }
+
+func TestAsymmetricFaultClassification(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	bus.AddDisturbance(blindOne{rcv: 4})
+	ctrls[1].WriteInterface([]byte{7})
+	rep, err := bus.TransmitSlot(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Classify(); got != OutcomeAsymmetric {
+		t.Fatalf("Classify() = %v, want asymmetric", got)
+	}
+	if _, ok := ctrls[4].ReadValue(1); ok {
+		t.Error("blinded receiver has validity bit set")
+	}
+	if _, ok := ctrls[2].ReadValue(1); !ok {
+		t.Error("unblinded receiver lost the message")
+	}
+	if rep.Collision {
+		t.Error("asymmetric receive fault tripped the sender collision detector")
+	}
+}
+
+// corruptPayload substitutes the payload without clearing validity
+// (symmetric malicious fault).
+type corruptPayload struct{ with []byte }
+
+func (m corruptPayload) Deliver(_ *Transmission, _ NodeID, d Delivery) Delivery {
+	if d.Valid {
+		d.Payload = m.with
+	}
+	return d
+}
+func (corruptPayload) SenderCollision(_ *Transmission, c bool) bool { return c }
+
+func TestMaliciousFaultClassification(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	bus.AddDisturbance(corruptPayload{with: []byte{0xEE}})
+	ctrls[2].WriteInterface([]byte{0x11})
+	rep, err := bus.TransmitSlot(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Classify(); got != OutcomeMalicious {
+		t.Fatalf("Classify() = %v, want malicious", got)
+	}
+	v, ok := ctrls[1].ReadValue(2)
+	if !ok || len(v) != 1 || v[0] != 0xEE {
+		t.Fatalf("receiver observed %v/%v, want corrupted payload", v, ok)
+	}
+}
+
+func TestIgnoredSenderTrafficDropped(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	ctrls[2].WriteInterface([]byte{0xAB})
+	if _, err := bus.TransmitSlot(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	ctrls[1].SetIgnored(2, true)
+	if _, ok := ctrls[1].ReadValue(2); ok {
+		t.Fatal("value still valid right after isolation")
+	}
+	ctrls[2].WriteInterface([]byte{0xCD})
+	if _, err := bus.TransmitSlot(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctrls[1].ReadValue(2); ok {
+		t.Fatal("isolated sender's traffic not ignored")
+	}
+	if v, ok := ctrls[3].ReadValue(2); !ok || v[0] != 0xCD {
+		t.Fatal("other receivers affected by node 1's ignore mask")
+	}
+	if !ctrls[1].Ignored(2) {
+		t.Fatal("Ignored(2) = false")
+	}
+	ctrls[1].SetIgnored(2, false)
+	ctrls[2].WriteInterface([]byte{0xEF})
+	if _, err := bus.TransmitSlot(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ctrls[1].ReadValue(2); !ok || v[0] != 0xEF {
+		t.Fatal("reintegrated sender's traffic still ignored")
+	}
+}
+
+func TestCollisionHistoryWindow(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	ctrls[1].WriteInterface([]byte{1})
+	for round := 0; round < collisionHistory+4; round++ {
+		if _, err := bus.TransmitSlot(round, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := ctrls[1].Collision(0); ok {
+		t.Error("round 0 verdict still available beyond history window")
+	}
+	if collided, ok := ctrls[1].Collision(collisionHistory + 3); !ok || collided {
+		t.Errorf("latest round verdict = (%v,%v), want (false,true)", collided, ok)
+	}
+	if _, ok := ctrls[1].Collision(-1); ok {
+		t.Error("negative round reported as known")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	ctrls[1].WriteInterface([]byte{9})
+	if _, err := bus.TransmitSlot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	values, valid := ctrls[2].Snapshot()
+	if !valid[1] || values[1][0] != 9 {
+		t.Fatalf("snapshot wrong: %v %v", values[1], valid[1])
+	}
+	values[1][0] = 0
+	v, _ := ctrls[2].ReadValue(1)
+	if v[0] != 9 {
+		t.Fatal("snapshot mutation leaked into controller state")
+	}
+}
+
+func TestWriteInterfaceCopiesPayload(t *testing.T) {
+	c, _ := NewController(1, 4)
+	p := []byte{1, 2}
+	c.WriteInterface(p)
+	p[0] = 9
+	if c.Outbox()[0] != 1 {
+		t.Fatal("WriteInterface did not copy the payload")
+	}
+}
+
+func TestBusTraceEvents(t *testing.T) {
+	sched := MustSchedule(4, 2500*time.Microsecond)
+	var rec trace.Recorder
+	bus := NewBus(sched, &rec)
+	for id := 1; id <= 4; id++ {
+		c, _ := NewController(NodeID(id), 4)
+		if err := bus.Attach(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bus.Controller(1).WriteInterface([]byte{1})
+	if _, err := bus.TransmitSlot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Filter(trace.KindTransmit)
+	if len(evs) != 1 || evs[0].Node != 1 || evs[0].Detail != "correct" {
+		t.Fatalf("trace events = %+v", evs)
+	}
+}
+
+func TestOutcomeClassString(t *testing.T) {
+	for _, tt := range []struct {
+		class OutcomeClass
+		want  string
+	}{
+		{OutcomeCorrect, "correct"},
+		{OutcomeBenign, "benign"},
+		{OutcomeMalicious, "malicious"},
+		{OutcomeAsymmetric, "asymmetric"},
+	} {
+		if got := tt.class.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.class, got, tt.want)
+		}
+	}
+}
+
+func TestClearDisturbances(t *testing.T) {
+	bus, ctrls := newTestBus(t, 4)
+	bus.AddDisturbance(dropAll{})
+	ctrls[1].WriteInterface([]byte{1})
+	if _, err := bus.TransmitSlot(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctrls[2].ReadValue(1); ok {
+		t.Fatal("disturbance inactive")
+	}
+	bus.ClearDisturbances()
+	if _, err := bus.TransmitSlot(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ctrls[2].ReadValue(1); !ok {
+		t.Fatal("disturbance still active after ClearDisturbances")
+	}
+}
+
+// Property: Classify is total and matches its definition on random
+// per-receiver outcomes.
+func TestClassifyProperty(t *testing.T) {
+	if err := quick.Check(func(bits uint16, altered uint8) bool {
+		rep := &TxReport{
+			Tx:         Transmission{Sender: 2, Payload: []byte{0x55}},
+			Deliveries: make([]Delivery, 5),
+		}
+		invalid, valid, changed := 0, 0, 0
+		for r := 1; r <= 4; r++ {
+			if NodeID(r) == rep.Tx.Sender {
+				rep.Deliveries[r] = Delivery{Valid: true, Payload: rep.Tx.Payload}
+				continue
+			}
+			if bits&(1<<uint(r)) != 0 {
+				invalid++
+				continue
+			}
+			valid++
+			pay := rep.Tx.Payload
+			if altered&(1<<uint(r)) != 0 {
+				pay = []byte{0xAA}
+				changed++
+			}
+			rep.Deliveries[r] = Delivery{Valid: true, Payload: pay}
+		}
+		got := rep.Classify()
+		switch {
+		case invalid > 0 && valid > 0:
+			return got == OutcomeAsymmetric
+		case invalid > 0:
+			return got == OutcomeBenign
+		case changed > 0:
+			return got == OutcomeMalicious
+		default:
+			return got == OutcomeCorrect
+		}
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisturbancesChainOrder(t *testing.T) {
+	// The chain applies in order and can only degrade.
+	chain := Disturbances{
+		corruptPayload{with: []byte{0x01}},
+		corruptPayload{with: []byte{0x02}},
+	}
+	tx := &Transmission{Sender: 1, Payload: []byte{0xFF}}
+	d := chain.Deliver(tx, 2, Delivery{Valid: true, Payload: tx.Payload})
+	if !d.Valid || d.Payload[0] != 0x02 {
+		t.Fatalf("chain result %+v, want last corruption to win", d)
+	}
+	chain = Disturbances{dropAll{}, corruptPayload{with: []byte{0x02}}}
+	d = chain.Deliver(tx, 2, Delivery{Valid: true, Payload: tx.Payload})
+	if d.Valid {
+		t.Fatal("corruptor revived a dropped delivery")
+	}
+	if !chain.SenderCollision(tx, false) {
+		t.Fatal("collision lost through the chain")
+	}
+	var empty Disturbances
+	if d := empty.Deliver(tx, 2, Delivery{Valid: true, Payload: tx.Payload}); !d.Valid {
+		t.Fatal("empty chain corrupted a delivery")
+	}
+}

@@ -1,0 +1,171 @@
+package tdma
+
+import "fmt"
+
+// collisionHistory is how many rounds of collision-detector verdicts a
+// controller retains. The protocol only ever queries the diagnosed round,
+// which trails the current round by at most three rounds; a deeper window is
+// kept for diagnostics.
+const collisionHistory = 16
+
+// Controller models a node's communication controller: it holds the node's
+// copies of the interface variables <v_1 ... v_N> together with their
+// validity bits, stages the node's own outgoing value, and records the local
+// collision-detector verdict for the node's own sending slots.
+//
+// A Controller is driven by a bus — the lock-step Bus in this package or the
+// channel-based bus of the concurrent runtime — which calls ApplyDelivery and
+// RecordCollision in slot order, and read by the node's application-level
+// jobs. It is not safe for concurrent use; the concurrent runtime confines
+// each controller to its node's goroutine.
+type Controller struct {
+	id NodeID
+	n  int
+
+	// values[j] and valid[j] (1-based) are the local copies of interface
+	// variable j and its validity bit.
+	values [][]byte
+	valid  []bool
+
+	// outbox is the staged value of this node's own interface variable,
+	// transmitted at the node's next sending slot.
+	outbox []byte
+
+	// ignored marks senders whose traffic must be ignored because the
+	// diagnostic protocol isolated them.
+	ignored []bool
+
+	// collRound/collVerdict form a small ring of collision-detector
+	// verdicts for this node's own transmissions, indexed by round.
+	collRound   [collisionHistory]int
+	collVerdict [collisionHistory]bool
+	collSeen    [collisionHistory]bool
+}
+
+// NewController returns a controller for node id in an n-node system.
+func NewController(id NodeID, n int) (*Controller, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("tdma: controller needs at least 2 nodes, got %d", n)
+	}
+	if id < 1 || int(id) > n {
+		return nil, fmt.Errorf("tdma: controller id %d out of range 1..%d", id, n)
+	}
+	return &Controller{
+		id:      id,
+		n:       n,
+		values:  make([][]byte, n+1),
+		valid:   make([]bool, n+1),
+		ignored: make([]bool, n+1),
+	}, nil
+}
+
+// ID returns the node this controller belongs to.
+func (c *Controller) ID() NodeID { return c.id }
+
+// N returns the number of nodes in the system.
+func (c *Controller) N() int { return c.n }
+
+// WriteInterface stages payload as the node's own interface-variable value;
+// it will be broadcast at the node's next sending slot. The payload is
+// copied.
+func (c *Controller) WriteInterface(payload []byte) {
+	c.outbox = append([]byte(nil), payload...)
+}
+
+// ReadValue returns the local copy of interface variable j and its validity
+// bit. The returned slice must not be modified by the caller.
+func (c *Controller) ReadValue(j NodeID) (payload []byte, valid bool) {
+	if j < 1 || int(j) > c.n {
+		return nil, false
+	}
+	return c.values[j], c.valid[j]
+}
+
+// Snapshot returns copies of all interface-variable values and validity bits,
+// both indexed 1..N (index 0 unused). It is what a diagnostic job reads at
+// the start of its execution (Alg. 1, lines 1-2).
+func (c *Controller) Snapshot() (values [][]byte, valid []bool) {
+	values = make([][]byte, c.n+1)
+	valid = make([]bool, c.n+1)
+	for j := 1; j <= c.n; j++ {
+		if c.values[j] != nil {
+			values[j] = append([]byte(nil), c.values[j]...)
+		}
+		valid[j] = c.valid[j]
+	}
+	return values, valid
+}
+
+// SetIgnored marks (or unmarks) a sender as isolated: subsequent traffic from
+// it is dropped and its validity bit forced to false, as required once the
+// diagnostic protocol isolates a node.
+func (c *Controller) SetIgnored(sender NodeID, ignored bool) {
+	if sender < 1 || int(sender) > c.n {
+		return
+	}
+	c.ignored[sender] = ignored
+	if ignored {
+		c.values[sender] = nil
+		c.valid[sender] = false
+	}
+}
+
+// Ignored reports whether traffic from sender is currently ignored.
+func (c *Controller) Ignored(sender NodeID) bool {
+	if sender < 1 || int(sender) > c.n {
+		return false
+	}
+	return c.ignored[sender]
+}
+
+// Collision returns the collision-detector verdict for this node's own
+// transmission in the given round: collided == true means the controller
+// could not read its own message back from the bus. ok is false when the
+// round is outside the retained history.
+func (c *Controller) Collision(round int) (collided, ok bool) {
+	i := round % collisionHistory
+	if i < 0 {
+		return false, false
+	}
+	if !c.collSeen[i] || c.collRound[i] != round {
+		return false, false
+	}
+	return c.collVerdict[i], true
+}
+
+// ApplyDelivery installs what this node observed for a transmission: the
+// interface-variable copy is updated together with its validity bit
+// (invalid deliveries clear the value, modelling the controller discarding a
+// locally detected faulty frame).
+func (c *Controller) ApplyDelivery(sender NodeID, d Delivery) {
+	if sender < 1 || int(sender) > c.n {
+		return
+	}
+	if c.ignored[sender] {
+		c.values[sender] = nil
+		c.valid[sender] = false
+		return
+	}
+	if !d.Valid {
+		c.values[sender] = nil
+		c.valid[sender] = false
+		return
+	}
+	c.values[sender] = append([]byte(nil), d.Payload...)
+	c.valid[sender] = true
+}
+
+// RecordCollision stores the collision-detector verdict for the node's own
+// transmission in the given round.
+func (c *Controller) RecordCollision(round int, collided bool) {
+	i := round % collisionHistory
+	if i < 0 {
+		return
+	}
+	c.collRound[i] = round
+	c.collVerdict[i] = collided
+	c.collSeen[i] = true
+}
+
+// Outbox returns the currently staged outgoing payload (nil if none).
+func (c *Controller) Outbox() []byte { return c.outbox }

@@ -1,0 +1,72 @@
+package tdma
+
+import "time"
+
+// Transmission describes one broadcast of a node's interface variable in its
+// sending slot, including its window on the simulated-time axis so that
+// continuous-time disturbances (bursts with arbitrary phase) can decide
+// whether they overlap it.
+type Transmission struct {
+	// Sender is the transmitting node; in this model slot s belongs to
+	// node s, so Slot == int(Sender).
+	Sender NodeID
+	// Round is the 0-based TDMA round of the transmission.
+	Round int
+	// Slot is the 1-based sending slot.
+	Slot int
+	// Start and End delimit the slot window on the simulated clock; all
+	// times are simulated nanoseconds from simulation start.
+	Start, End time.Duration
+	// Payload is the transmitted value of the sender's interface variable.
+	Payload []byte
+}
+
+// Delivery is what one receiver observes for one transmission.
+type Delivery struct {
+	// Valid mirrors the validity bit set by the receiver's communication
+	// controller: true iff the message passed local error detection
+	// (syntactically correct, timely).
+	Valid bool
+	// Payload is the observed value. It equals the transmitted payload for
+	// fault-free deliveries, may differ under malicious faults, and is nil
+	// when Valid is false.
+	Payload []byte
+}
+
+// Disturbance perturbs the behaviour of the bus. Implementations live in
+// package fault; the zero set of disturbances yields a perfect bus.
+//
+// A Disturbance is applied as a filter chain: it receives the delivery as
+// decided so far and returns the (possibly degraded) delivery. Conforming
+// implementations only ever degrade a delivery (clear validity, corrupt the
+// payload); they never restore validity, since a broadcast bus cannot
+// un-corrupt a frame.
+type Disturbance interface {
+	// Deliver transforms the delivery of tx observed by receiver rcv.
+	Deliver(tx *Transmission, rcv NodeID, d Delivery) Delivery
+	// SenderCollision transforms the sender-side collision-detector verdict
+	// for tx: true means the sender's controller could not read its own
+	// message back from the bus.
+	SenderCollision(tx *Transmission, collided bool) bool
+}
+
+// Disturbances composes several disturbances, applied in order.
+type Disturbances []Disturbance
+
+var _ Disturbance = Disturbances(nil)
+
+// Deliver applies every disturbance in order.
+func (ds Disturbances) Deliver(tx *Transmission, rcv NodeID, d Delivery) Delivery {
+	for _, dist := range ds {
+		d = dist.Deliver(tx, rcv, d)
+	}
+	return d
+}
+
+// SenderCollision applies every disturbance in order.
+func (ds Disturbances) SenderCollision(tx *Transmission, collided bool) bool {
+	for _, dist := range ds {
+		collided = dist.SenderCollision(tx, collided)
+	}
+	return collided
+}

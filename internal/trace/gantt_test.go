@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGanttRender(t *testing.T) {
+	events := []Event{
+		{Round: 0, Kind: KindTransmit, Node: 1, Detail: "correct"},
+		{Round: 1, Kind: KindTransmit, Node: 2, Detail: "benign"},
+		{Round: 2, Kind: KindIsolation, Node: 3, Subject: 2},
+		{Round: 3, Kind: KindReintegration, Node: 1, Subject: 2},
+		{Round: 4, Kind: KindViewChange, Node: 1},
+	}
+	out := Gantt{Nodes: 3}.Render(events)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // ruler + 3 nodes + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	row := func(n int) string { return lines[n] }
+	if !strings.Contains(row(1), ".") {
+		t.Errorf("node 1 row missing clean tx:\n%s", out)
+	}
+	if !strings.Contains(row(2), "!") {
+		t.Errorf("node 2 row missing disturbed tx:\n%s", out)
+	}
+	if !strings.Contains(row(3), "X") || !strings.Contains(row(2), "X") {
+		t.Errorf("isolation glyph missing:\n%s", out)
+	}
+	if !strings.Contains(row(1), "R") || !strings.Contains(row(2), "R") {
+		t.Errorf("reintegration glyph missing:\n%s", out)
+	}
+	if !strings.Contains(row(1), "V") {
+		t.Errorf("view glyph missing:\n%s", out)
+	}
+}
+
+func TestGanttGlyphPriority(t *testing.T) {
+	events := []Event{
+		{Round: 0, Kind: KindTransmit, Node: 1, Detail: "correct"},
+		{Round: 0, Kind: KindIsolation, Node: 1, Subject: 1},
+	}
+	out := Gantt{Nodes: 1}.Render(events)
+	if !strings.Contains(out, "X") {
+		t.Fatalf("isolation did not win the cell:\n%s", out)
+	}
+}
+
+func TestGanttWindow(t *testing.T) {
+	events := []Event{
+		{Round: 5, Kind: KindTransmit, Node: 1, Detail: "benign"},
+		{Round: 15, Kind: KindTransmit, Node: 1, Detail: "benign"},
+	}
+	out := Gantt{Nodes: 1, FromRound: 10, ToRound: 20}.Render(events)
+	row := strings.Split(out, "\n")[1]
+	if strings.Count(row, "!") != 1 {
+		t.Fatalf("window not applied:\n%s", out)
+	}
+	if (Gantt{Nodes: 1, FromRound: 9, ToRound: 3}).Render(events) != "" {
+		t.Fatal("inverted window not empty")
+	}
+	if (Gantt{Nodes: 0}).Render(events) != "" {
+		t.Fatal("zero nodes not empty")
+	}
+}
+
+func TestNodesInEvents(t *testing.T) {
+	events := []Event{
+		{Node: 2}, {Node: 1, Subject: 7}, {Node: 3},
+	}
+	if got := NodesInEvents(events); got != 7 {
+		t.Fatalf("NodesInEvents = %d", got)
+	}
+	if got := NodesInEvents(nil); got != 0 {
+		t.Fatalf("NodesInEvents(nil) = %d", got)
+	}
+}
+
+func TestSortByTime(t *testing.T) {
+	events := []Event{
+		{At: 3 * time.Millisecond, Round: 3},
+		{At: time.Millisecond, Round: 1},
+		{At: 2 * time.Millisecond, Round: 2},
+	}
+	SortByTime(events)
+	for i, want := range []int{1, 2, 3} {
+		if events[i].Round != want {
+			t.Fatalf("order wrong: %+v", events)
+		}
+	}
+}

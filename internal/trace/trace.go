@@ -1,0 +1,168 @@
+// Package trace records structured simulation events: transmissions,
+// diagnostic-job executions, agreed diagnoses, isolations, and membership
+// view changes. Experiments and tests use the recorded stream both for
+// human-readable round-by-round output and for programmatic audits of the
+// protocol properties (correctness, completeness, consistency).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+// Event kinds, in rough causal order within a round.
+const (
+	KindTransmit Kind = iota + 1
+	KindJobRun
+	KindDiagnosis
+	KindPenalty
+	KindIsolation
+	KindReintegration
+	KindViewChange
+	KindNote
+)
+
+var kindNames = map[Kind]string{
+	KindTransmit:      "transmit",
+	KindJobRun:        "job",
+	KindDiagnosis:     "diagnosis",
+	KindPenalty:       "penalty",
+	KindIsolation:     "isolation",
+	KindReintegration: "reintegration",
+	KindViewChange:    "view",
+	KindNote:          "note",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded simulation event.
+type Event struct {
+	// At is the simulated time of the event, measured from simulation start.
+	At time.Duration
+	// Round is the TDMA round in which the event happened.
+	Round int
+	// Kind classifies the event.
+	Kind Kind
+	// Node is the node the event concerns (observer for diagnoses, subject
+	// for transmissions and isolations); 0 when not applicable.
+	Node int
+	// Subject is the node the event is about, when different from Node
+	// (e.g. the diagnosed or isolated node); 0 when not applicable.
+	Subject int
+	// Detail is a short human-readable description.
+	Detail string
+}
+
+// String renders the event for round-by-round traces.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s r%-5d %-13s", e.At, e.Round, e.Kind)
+	if e.Node != 0 {
+		fmt.Fprintf(&b, " n%d", e.Node)
+	}
+	if e.Subject != 0 && e.Subject != e.Node {
+		fmt.Fprintf(&b, "->n%d", e.Subject)
+	}
+	if e.Detail != "" {
+		b.WriteString(" ")
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// Sink consumes events as they are produced.
+type Sink interface {
+	Record(Event)
+}
+
+// Recorder is a Sink that retains events in memory, optionally bounded.
+// The zero value is unbounded and ready to use. Recorder is safe for
+// concurrent use so that the goroutine-per-node runtime can share one.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	// Limit bounds the number of retained events; once exceeded, the oldest
+	// events are discarded. Zero means unbounded.
+	Limit int
+}
+
+var _ Sink = (*Recorder)(nil)
+
+// Record appends the event, evicting the oldest if the limit is exceeded.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+	if r.Limit > 0 && len(r.events) > r.Limit {
+		excess := len(r.events) - r.Limit
+		r.events = append(r.events[:0], r.events[excess:]...)
+	}
+}
+
+// Events returns a copy of the retained events in record order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the retained events matching the given kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all retained events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = r.events[:0]
+}
+
+// Discard is a Sink that drops every event. Use it when tracing overhead is
+// unwanted, e.g. in benchmarks.
+type Discard struct{}
+
+var _ Sink = Discard{}
+
+// Record implements Sink by doing nothing.
+func (Discard) Record(Event) {}
+
+// Tee duplicates events to several sinks.
+type Tee []Sink
+
+var _ Sink = Tee(nil)
+
+// Record implements Sink by forwarding to every element.
+func (t Tee) Record(e Event) {
+	for _, s := range t {
+		s.Record(e)
+	}
+}

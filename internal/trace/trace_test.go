@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderRetainsInOrder(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Round: i, Kind: KindNote})
+	}
+	evs := r.Events()
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Round != i {
+			t.Fatalf("event %d has round %d", i, e.Round)
+		}
+	}
+}
+
+func TestRecorderLimitEvictsOldest(t *testing.T) {
+	r := Recorder{Limit: 3}
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Round: i, Kind: KindNote})
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Round != 7 || evs[2].Round != 9 {
+		t.Fatalf("wrong retained window: %+v", evs)
+	}
+}
+
+func TestRecorderFilter(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Kind: KindTransmit})
+	r.Record(Event{Kind: KindIsolation, Node: 2})
+	r.Record(Event{Kind: KindTransmit})
+	iso := r.Filter(KindIsolation)
+	if len(iso) != 1 || iso[0].Node != 2 {
+		t.Fatalf("filter returned %+v", iso)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Kind: KindNote})
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("recorder not empty after Reset: %d", r.Len())
+	}
+}
+
+func TestRecorderEventsIsACopy(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Round: 1, Kind: KindNote})
+	evs := r.Events()
+	evs[0].Round = 99
+	if got := r.Events()[0].Round; got != 1 {
+		t.Fatalf("mutating the returned slice affected the recorder: round=%d", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var (
+		r  Recorder
+		wg sync.WaitGroup
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: KindNote})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("got %d events, want 800", r.Len())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		At:      5 * time.Millisecond,
+		Round:   2,
+		Kind:    KindDiagnosis,
+		Node:    1,
+		Subject: 3,
+		Detail:  "faulty",
+	}
+	s := e.String()
+	for _, want := range []string{"diagnosis", "n1", "->n3", "faulty", "r2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindViewChange.String() != "view" {
+		t.Fatalf("KindViewChange.String() = %q", KindViewChange.String())
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestTeeForwardsToAll(t *testing.T) {
+	var a, b Recorder
+	tee := Tee{&a, &b, Discard{}}
+	tee.Record(Event{Kind: KindNote})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("tee did not forward: a=%d b=%d", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,177 @@
+package tuning
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ttdiag/internal/rng"
+	"ttdiag/internal/sim"
+)
+
+func TestCorrelationProbabilityAnalytic(t *testing.T) {
+	// R = 10^6 at T = 2.5 ms gives a 2500 s (~42 min) correlation window.
+	window := time.Duration(PaperRewardThreshold) * sim.DefaultRoundLen
+	if window != 2500*time.Second {
+		t.Fatalf("window = %v, want 2500s", window)
+	}
+	// Sec. 9: "after detecting a transient fault, the resulting probability
+	// of correlating a second transient fault is less than 1%" — for an
+	// external transient rate of about one fault per 70 hours.
+	rate := 1.0 / (70 * 3600)
+	p := CorrelationProbability(rate, PaperRewardThreshold, sim.DefaultRoundLen)
+	if p >= 0.01 {
+		t.Fatalf("correlation probability %v, want < 1%%", p)
+	}
+	if p <= 0.005 {
+		t.Fatalf("correlation probability %v implausibly small for the chosen rate", p)
+	}
+}
+
+func TestCorrelationProbabilityProperties(t *testing.T) {
+	if got := CorrelationProbability(0, 1000, sim.DefaultRoundLen); got != 0 {
+		t.Errorf("zero rate gives %v", got)
+	}
+	if got := CorrelationProbability(1, 0, sim.DefaultRoundLen); got != 0 {
+		t.Errorf("zero R gives %v", got)
+	}
+	// Monotone in R.
+	prev := -1.0
+	for _, r := range []int64{1e3, 1e4, 1e5, 1e6, 1e7} {
+		p := CorrelationProbability(1e-4, r, sim.DefaultRoundLen)
+		if p <= prev {
+			t.Fatalf("probability not increasing at R=%d: %v <= %v", r, p, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+		prev = p
+	}
+}
+
+func TestCorrelationMonteCarloMatchesAnalytic(t *testing.T) {
+	stream := rng.NewStream(42)
+	for _, rate := range []float64{1e-3, 1e-4} {
+		want := CorrelationProbability(rate, PaperRewardThreshold, sim.DefaultRoundLen)
+		got := CorrelationMonteCarlo(stream, rate, PaperRewardThreshold, sim.DefaultRoundLen, 200000)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rate %v: MC %v vs analytic %v", rate, got, want)
+		}
+	}
+	if got := CorrelationMonteCarlo(stream, 1, 1, sim.DefaultRoundLen, 0); got != 0 {
+		t.Fatalf("zero samples gives %v", got)
+	}
+}
+
+func TestFig3Sweep(t *testing.T) {
+	rs := []int64{1e4, 1e5, 1e6}
+	rates := []float64{1e-3, 1e-5}
+	pts := Fig3Sweep(rs, rates, sim.DefaultRoundLen)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.R != rs[i] || len(p.Prob) != 2 {
+			t.Fatalf("point %d malformed: %+v", i, p)
+		}
+		if p.Window != time.Duration(p.R)*sim.DefaultRoundLen {
+			t.Fatalf("point %d window %v", i, p.Window)
+		}
+		// Higher rate correlates more.
+		if p.Prob[0] <= p.Prob[1] {
+			t.Fatalf("point %d: rate ordering violated: %v", i, p.Prob)
+		}
+	}
+}
+
+// TestDeriveAutomotive reproduces the automotive row of Table 2 exactly:
+// P = 197 and criticality levels 40 / 6 / 1 for SC / SR / NSR.
+func TestDeriveAutomotive(t *testing.T) {
+	res, err := Derive(Automotive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 197 {
+		t.Fatalf("P = %d, want 197", res.P)
+	}
+	want := map[string]int64{"SC": 40, "SR": 6, "NSR": 1}
+	wantPenalty := map[string]int64{"SC": 5, "SR": 37, "NSR": 197}
+	for _, ct := range res.PerClass {
+		if ct.Criticality != want[ct.Class.Name] {
+			t.Errorf("class %s: criticality %d, want %d", ct.Class.Name, ct.Criticality, want[ct.Class.Name])
+		}
+		if ct.Penalty != wantPenalty[ct.Class.Name] {
+			t.Errorf("class %s: penalty at deadline %d, want %d", ct.Class.Name, ct.Penalty, wantPenalty[ct.Class.Name])
+		}
+	}
+	if res.R != PaperRewardThreshold {
+		t.Errorf("R = %d", res.R)
+	}
+}
+
+// TestDeriveAerospace reproduces the aerospace row of Table 2: P = 17,
+// criticality 1.
+func TestDeriveAerospace(t *testing.T) {
+	res, err := Derive(Aerospace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 17 {
+		t.Fatalf("P = %d, want 17", res.P)
+	}
+	if len(res.PerClass) != 1 || res.PerClass[0].Criticality != 1 {
+		t.Fatalf("per-class = %+v", res.PerClass)
+	}
+}
+
+func TestResultPRConfig(t *testing.T) {
+	res, err := Derive(Automotive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := res.PRConfig(4)
+	if cfg.PenaltyThreshold != 197 || cfg.RewardThreshold != PaperRewardThreshold {
+		t.Fatalf("thresholds: %+v", cfg)
+	}
+	wantCrit := []int64{0, 40, 6, 1, 1}
+	for j := 1; j <= 4; j++ {
+		if cfg.Criticalities[j] != wantCrit[j] {
+			t.Fatalf("criticalities = %v, want %v", cfg.Criticalities, wantCrit)
+		}
+	}
+	if err := cfg.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveRejectsTooTightOutage(t *testing.T) {
+	spec := DomainSpec{
+		Name:     "degenerate",
+		Classes:  []Class{{Name: "X", Outage: 5 * time.Millisecond}}, // 2 rounds < latency
+		RoundLen: sim.DefaultRoundLen,
+		R:        10,
+	}
+	if _, err := Derive(spec); err == nil {
+		t.Fatal("outage shorter than the diagnostic latency accepted")
+	}
+}
+
+// TestDeriveAutomotiveUpperBound is the sensitivity companion of Table 2:
+// tuning against the upper outage bounds scales every p_i by the budget and
+// re-derives the criticality levels consistently.
+func TestDeriveAutomotiveUpperBound(t *testing.T) {
+	res, err := Derive(AutomotiveUpperBound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p_i = outage/T - 3: 17 / 77 / 397; P = 397; s = ceil(397/p).
+	if res.P != 397 {
+		t.Fatalf("P = %d, want 397", res.P)
+	}
+	want := map[string]int64{"SC": 24, "SR": 6, "NSR": 1}
+	for _, ct := range res.PerClass {
+		if ct.Criticality != want[ct.Class.Name] {
+			t.Errorf("class %s: s = %d, want %d", ct.Class.Name, ct.Criticality, want[ct.Class.Name])
+		}
+	}
+}
