@@ -1,0 +1,80 @@
+// Command ttdiag-lint runs the repository's determinism analyzer
+// (internal/lint) over the module source and prints every finding in a
+// stable, file:line:col-sorted format, so CI output is deterministic and
+// greppable.
+//
+// Usage:
+//
+//	ttdiag-lint [-root dir] [patterns ...]
+//
+// Patterns default to ./... and are resolved relative to the module root
+// (the nearest parent directory of the working directory that contains a
+// go.mod, unless -root overrides it). Exit status: 0 when the tree is
+// clean, 1 when findings were reported, 2 on usage or analysis errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ttdiag/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ttdiag-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "root directory to analyze (default: nearest parent with go.mod)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ttdiag-lint [-root dir] [patterns ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *root == "" {
+		r, err := findModuleRoot(".")
+		if err != nil {
+			fmt.Fprintln(stderr, "ttdiag-lint:", err)
+			return 2
+		}
+		*root = r
+	}
+	diags, err := lint.Run(*root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "ttdiag-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ttdiag-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s (use -root)", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestExitNonZeroOnFindings drives the CLI over each negative fixture and
+// requires exit status 1 with the file:line-sorted format on stdout.
+func TestExitNonZeroOnFindings(t *testing.T) {
+	for _, pkg := range []string{"./internal/core", "./internal/cluster"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-root", fixtureRoot(t), pkg}, &out, &errOut)
+		if code != 1 {
+			t.Fatalf("%s: exit %d, want 1 (stderr: %s)", pkg, code, errOut.String())
+		}
+		lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+		if len(lines) == 0 {
+			t.Fatalf("%s: no findings printed", pkg)
+		}
+		for _, line := range lines {
+			// file:line:col: rule: message
+			parts := strings.SplitN(line, ":", 5)
+			if len(parts) != 5 {
+				t.Fatalf("%s: malformed diagnostic %q", pkg, line)
+			}
+		}
+		if !sortedByFileLine(lines) {
+			t.Fatalf("%s: diagnostics not sorted:\n%s", pkg, out.String())
+		}
+	}
+}
+
+func sortedByFileLine(lines []string) bool {
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] && !sameFileAscendingLines(lines[i-1], lines[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFileAscendingLines tolerates lexicographic inversions caused by line
+// numbers of different widths within one file (9 < 10 but "9" > "1").
+func sameFileAscendingLines(a, b string) bool {
+	fa := strings.SplitN(a, ":", 2)[0]
+	fb := strings.SplitN(b, ":", 2)[0]
+	return fa == fb
+}
+
+// TestExitZeroOnCleanPackage checks the clean fixture and the exempt one.
+func TestExitZeroOnCleanPackage(t *testing.T) {
+	for _, pkg := range []string{"./internal/tdma", "./internal/rng"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-root", fixtureRoot(t), pkg}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit %d, want 0\nstdout: %s\nstderr: %s", pkg, code, out.String(), errOut.String())
+		}
+		if out.Len() != 0 {
+			t.Fatalf("%s: unexpected output %q", pkg, out.String())
+		}
+	}
+}
+
+// TestExitTwoOnError checks usage and analysis failures.
+func TestExitTwoOnError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-root", fixtureRoot(t), "./no/such/dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing package: exit %d, want 2", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

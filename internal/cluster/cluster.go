@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"ttdiag/internal/core"
+	"ttdiag/internal/invariant"
 	"ttdiag/internal/lowlat"
 	"ttdiag/internal/sim"
 	"ttdiag/internal/tdma"
@@ -45,8 +46,10 @@ type (
 		round int
 		reply chan<- jobReply
 	}
-	stopCmd struct{}
 )
+
+// errClosed is returned by operations racing a concurrent Close.
+var errClosed = fmt.Errorf("cluster: already closed")
 
 type jobReply struct {
 	payload []byte
@@ -61,14 +64,26 @@ type nodeProc struct {
 	id     tdma.NodeID
 	l      int
 	inbox  chan any
+	quit   <-chan struct{}
 	done   chan struct{}
 	runner sim.Runner
 	ctrl   *tdma.Controller
 }
 
+// loop is the node goroutine. Every channel operation — the mailbox receive
+// and all reply sends — is select-guarded by the cluster-wide quit channel,
+// so a node can never deadlock against a coordinator that stopped listening
+// (the channel-discipline lint rule enforces this shape). quit only becomes
+// ready at Close, so the selects are deterministic during a run.
 func (np *nodeProc) loop() {
 	defer close(np.done)
-	for msg := range np.inbox {
+	for {
+		var msg any
+		select {
+		case msg = <-np.inbox:
+		case <-np.quit:
+			return
+		}
 		switch m := msg.(type) {
 		case deliverCmd:
 			if m.sender == np.id {
@@ -85,21 +100,31 @@ func (np *nodeProc) loop() {
 			if so, ok := np.runner.(sim.SlotObserver); ok {
 				err = so.OnSlotComplete(m.round, m.slot, np.ctrl)
 			}
-			m.reply <- err
+			select {
+			case m.reply <- err:
+			case <-np.quit:
+				return
+			}
 		case snapshotCmd:
 			if st, ok := np.runner.(sim.SnapshotTaker); ok {
 				st.CaptureSnapshot(m.round, np.ctrl)
 			}
-			m.done <- struct{}{}
+			select {
+			case m.done <- struct{}{}:
+			case <-np.quit:
+				return
+			}
 		case jobCmd:
 			payload, err := np.runner.Run(m.round, np.ctrl)
 			rep := jobReply{payload: payload, err: err}
 			if dr, ok := np.runner.(*sim.DiagRunner); ok {
 				rep.output = dr.Last()
 			}
-			m.reply <- rep
-		case stopCmd:
-			return
+			select {
+			case m.reply <- rep:
+			case <-np.quit:
+				return
+			}
 		}
 	}
 }
@@ -112,10 +137,13 @@ type Cluster struct {
 	nodes []*nodeProc // 1-based
 	// outbox mirrors each node's staged interface value at the coordinator
 	// (the value its controller would transmit next).
-	outbox  [][]byte
-	last    []core.RoundOutput
-	round   int
-	sink    trace.Sink
+	outbox [][]byte
+	last   []core.RoundOutput
+	round  int
+	sink   trace.Sink
+	// quit is closed exactly once by Close; every mailbox send and reply
+	// receive selects on it, so shutdown can never deadlock mid-round.
+	quit    chan struct{}
 	stopped bool
 	mu      sync.Mutex
 }
@@ -142,6 +170,7 @@ func New(cfg Config) (*Cluster, error) {
 		outbox: make([][]byte, cfg.N+1),
 		last:   make([]core.RoundOutput, cfg.N+1),
 		sink:   sink,
+		quit:   make(chan struct{}),
 	}
 	initial := core.NewSyndrome(cfg.N, core.Healthy).Encode()
 	for id := 1; id <= cfg.N; id++ {
@@ -188,6 +217,7 @@ func NewWithRunners(cfg Config, runners []sim.Runner, ls []int) (*Cluster, error
 		outbox: make([][]byte, cfg.N+1),
 		last:   make([]core.RoundOutput, cfg.N+1),
 		sink:   sink,
+		quit:   make(chan struct{}),
 	}
 	initial := core.NewSyndrome(cfg.N, core.Healthy).Encode()
 	for id := 1; id <= cfg.N; id++ {
@@ -283,6 +313,7 @@ func (c *Cluster) startNode(id, l int, runner sim.Runner, initial []byte) error 
 		id:     tdma.NodeID(id),
 		l:      l,
 		inbox:  make(chan any),
+		quit:   c.quit,
 		done:   make(chan struct{}),
 		runner: runner,
 		ctrl:   ctrl,
@@ -322,20 +353,39 @@ func (c *Cluster) Last(id int) core.RoundOutput {
 	return c.last[id]
 }
 
+// post delivers one command to node id's mailbox, giving up cleanly if the
+// cluster is shut down concurrently.
+func (c *Cluster) post(id int, msg any) error {
+	select {
+	case c.nodes[id].inbox <- msg:
+		return nil
+	case <-c.quit:
+		return errClosed
+	}
+}
+
 // RunRound drives the cluster through one TDMA round.
 func (c *Cluster) RunRound() error {
-	if c.stopped {
-		return fmt.Errorf("cluster: already closed")
+	select {
+	case <-c.quit:
+		return errClosed
+	default:
 	}
 	k := c.round
 	n := c.cfg.N
 	// Round-start snapshots for dynamically scheduled / snapshotting nodes.
 	snapDone := make(chan struct{}, n)
 	for id := 1; id <= n; id++ {
-		c.nodes[id].inbox <- snapshotCmd{round: k, done: snapDone}
+		if err := c.post(id, snapshotCmd{round: k, done: snapDone}); err != nil {
+			return err
+		}
 	}
 	for id := 1; id <= n; id++ {
-		<-snapDone
+		select {
+		case <-snapDone:
+		case <-c.quit:
+			return errClosed
+		}
 	}
 	for pos := 0; pos <= n; pos++ {
 		// Node jobs scheduled at this position (concurrently, then join).
@@ -346,14 +396,21 @@ func (c *Cluster) RunRound() error {
 			}
 			ch := make(chan jobReply, 1)
 			replies[id] = ch
-			c.nodes[id].inbox <- jobCmd{round: k, reply: ch}
+			if err := c.post(id, jobCmd{round: k, reply: ch}); err != nil {
+				return err
+			}
 		}
 		for id := 1; id <= n; id++ {
 			ch, ok := replies[id]
 			if !ok {
 				continue
 			}
-			rep := <-ch
+			var rep jobReply
+			select {
+			case rep = <-ch:
+			case <-c.quit:
+				return errClosed
+			}
 			if rep.err != nil {
 				return fmt.Errorf("cluster: round %d node %d: %w", k, id, rep.err)
 			}
@@ -372,8 +429,36 @@ func (c *Cluster) RunRound() error {
 			return err
 		}
 	}
+	if invariant.Enabled {
+		c.checkRoundAgreement(k)
+	}
 	c.round++
 	return nil
+}
+
+// checkRoundAgreement asserts the paper's consistent-diagnosis property at
+// the round boundary (ttdiag_invariants builds only): every node goroutine
+// that produced a health vector this round must agree on both the diagnosed
+// round and the vector itself, bit for bit.
+func (c *Cluster) checkRoundAgreement(round int) {
+	var ref core.RoundOutput
+	refID := 0
+	for id := 1; id <= c.cfg.N; id++ {
+		out := c.last[id]
+		if out.ConsHV == nil || out.Round != round {
+			continue
+		}
+		if refID == 0 {
+			ref, refID = out, id
+			continue
+		}
+		invariant.Checkf(out.DiagnosedRound == ref.DiagnosedRound,
+			"cluster: round %d: nodes %d and %d diagnose different rounds (%d vs %d)",
+			round, refID, id, ref.DiagnosedRound, out.DiagnosedRound)
+		invariant.Checkf(out.ConsHV.Equal(ref.ConsHV),
+			"cluster: round %d: health vectors diverge across goroutines: node %d says %s, node %d says %s",
+			round, refID, ref.ConsHV, id, out.ConsHV)
+	}
 }
 
 // transmit broadcasts one slot: the disturbance chain decides each
@@ -398,18 +483,26 @@ func (c *Cluster) transmit(round, slot int) error {
 		if !d.Valid {
 			d.Payload = nil
 		}
-		c.nodes[rcv].inbox <- deliverCmd{
+		if err := c.post(rcv, deliverCmd{
 			sender:    sender,
 			round:     round,
 			slot:      slot,
 			delivery:  d,
 			collision: collision,
 			reply:     reply,
+		}); err != nil {
+			return err
 		}
 	}
 	var firstErr error
 	for rcv := 1; rcv <= c.cfg.N; rcv++ {
-		if err := <-reply; err != nil && firstErr == nil {
+		var err error
+		select {
+		case err = <-reply:
+		case <-c.quit:
+			return errClosed
+		}
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -431,7 +524,9 @@ func (c *Cluster) RunRounds(count int) error {
 }
 
 // Close stops all node goroutines and waits for them to exit. It is
-// idempotent.
+// idempotent: the quit channel is closed exactly once and every goroutine —
+// whether idle in its mailbox receive or mid-reply — observes it and
+// returns.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -439,11 +534,11 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.stopped = true
+	close(c.quit)
 	for _, np := range c.nodes {
 		if np == nil {
 			continue
 		}
-		np.inbox <- stopCmd{}
 		<-np.done
 	}
 }

@@ -1,0 +1,85 @@
+//go:build ttdiag_invariants
+
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func stepOnce(t *testing.T, p *Protocol, round int) {
+	t.Helper()
+	n := p.Config().N
+	in := RoundInput{
+		Round:    round,
+		DMs:      make([]Syndrome, n+1),
+		Validity: NewSyndrome(n, Healthy),
+	}
+	for j := 1; j <= n; j++ {
+		in.DMs[j] = NewSyndrome(n, Healthy)
+	}
+	if _, err := p.Step(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptedPenaltyCounterPanics corrupts Alg. 2 state behind the
+// protocol's back and requires the invariant layer to catch it at the next
+// round boundary.
+func TestCorruptedPenaltyCounterPanics(t *testing.T) {
+	p, err := NewProtocol(Config{
+		N: 4, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 4, RewardThreshold: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.pr.penalties[2] = -1
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("negative penalty counter was not caught")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "penalty counter") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	stepOnce(t, p, 0)
+}
+
+// TestCorruptedActivityBitPanics flips an activity bit back on without the
+// reintegration extension — the monotonicity the isolation guarantee of
+// Alg. 2 depends on.
+func TestCorruptedActivityBitPanics(t *testing.T) {
+	p, err := NewProtocol(Config{
+		N: 4, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 4, RewardThreshold: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepOnce(t, p, 0) // seed invPrevActive
+	p.pr.active[3] = false
+	p.pr.penalties[3] = 3 // below threshold: isolation is unjustified
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unjustified isolation was not caught")
+		}
+	}()
+	stepOnce(t, p, 1)
+}
+
+// TestHealthyRunStaysQuiet drives a protocol through enough rounds to warm
+// up the pipeline and asserts the invariant layer accepts a legal history.
+func TestHealthyRunStaysQuiet(t *testing.T) {
+	p, err := NewProtocol(Config{
+		N: 4, ID: 2, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 4, RewardThreshold: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 12; k++ {
+		stepOnce(t, p, k)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"ttdiag/internal/invariant"
+)
 
 // Mode selects the protocol variant.
 type Mode int
@@ -184,6 +188,9 @@ type Protocol struct {
 	// accusedAge[j] counts the rounds since an accusation against j was last
 	// raised (saturating); it drives the accusationSkew guard.
 	accusedAge []int
+	// invPrevActive is the previous round's activity vector, kept only by
+	// ttdiag_invariants builds for the monotonicity check.
+	invPrevActive []bool
 }
 
 // NewProtocol builds the diagnostic job for one node.
@@ -369,6 +376,9 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 		}
 	}
 	p.steps++
+	if invariant.Enabled {
+		p.checkStepInvariants(out)
+	}
 	return out, nil
 }
 

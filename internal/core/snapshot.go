@@ -77,11 +77,16 @@ func RestoreProtocol(data []byte) (*Protocol, error) {
 		}
 		return nil
 	}
-	for name, s := range map[string]Syndrome{
-		"prevLS": snap.PrevLS, "prevAlLS": snap.PrevAlLS,
-		"lastSent": snap.LastSent, "prevSent": snap.PrevSent,
+	// Iterated as an ordered slice, not a map: which syndrome's error is
+	// reported must not depend on map-iteration order (no-map-range-state).
+	for _, it := range []struct {
+		name string
+		s    Syndrome
+	}{
+		{"prevLS", snap.PrevLS}, {"prevAlLS", snap.PrevAlLS},
+		{"lastSent", snap.LastSent}, {"prevSent", snap.PrevSent},
 	} {
-		if err := check(name, s); err != nil {
+		if err := check(it.name, it.s); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,22 @@
+//go:build !ttdiag_invariants
+
+// Package invariant provides build-tag-gated assertion hooks for the
+// protocol's internal consistency properties: health-vector agreement across
+// node goroutines, penalty-counter bounds and monotonicity, and
+// syndrome-matrix shape. In normal builds (no tag) Enabled is a false
+// constant and every check compiles to nothing; building or testing with
+//
+//	go test -tags ttdiag_invariants ./...
+//
+// turns the checks into panics at the exact round boundary where a
+// divergence first becomes observable — far closer to the cause than a
+// failing end-to-end equivalence test. See docs/STATIC_ANALYSIS.md.
+package invariant
+
+// Enabled reports whether invariant checking is compiled in. It is a
+// constant so that `if invariant.Enabled { ... }` blocks are eliminated at
+// compile time in normal builds.
+const Enabled = false
+
+// Checkf is a no-op in normal builds.
+func Checkf(bool, string, ...any) {}

@@ -1,0 +1,13 @@
+//go:build !ttdiag_invariants
+
+package invariant
+
+import "testing"
+
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the ttdiag_invariants tag")
+	}
+	// A failing condition must be inert in normal builds.
+	Checkf(false, "must not panic, got %d", 42)
+}

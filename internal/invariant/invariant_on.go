@@ -1,0 +1,18 @@
+//go:build ttdiag_invariants
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether invariant checking is compiled in. This build has
+// the ttdiag_invariants tag set, so every Checkf call is live.
+const Enabled = true
+
+// Checkf panics with a formatted message when cond is false. Callers must
+// guard call sites with `if invariant.Enabled` so that argument evaluation
+// is dead-code-eliminated from normal builds.
+func Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

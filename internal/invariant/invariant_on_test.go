@@ -1,0 +1,29 @@
+//go:build ttdiag_invariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledUnderTag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the ttdiag_invariants tag")
+	}
+	Checkf(true, "a passing check must not panic")
+}
+
+func TestCheckfPanicsWithMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("failing Checkf did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "counter 2 is -1") {
+			t.Fatalf("panic message %v does not carry the formatted detail", r)
+		}
+	}()
+	Checkf(false, "counter %d is %d", 2, -1)
+}

@@ -1,0 +1,375 @@
+// Package lint is ttdiag's determinism analyzer: a stdlib-only static
+// analysis pass over the repository's own source that mechanically enforces
+// the invariants the cross-engine equivalence tests rely on. The concurrent
+// goroutine-per-node runtime (internal/cluster) must produce bit-identical
+// protocol state to the lock-step engine (internal/sim); any hidden
+// nondeterminism source — wall-clock reads, the global math/rand source, Go
+// map-iteration order leaking into emitted state — silently breaks the
+// paper's consistent-diagnosis property (Serafini et al., DSN 2007). The
+// analyzer flags those sources at the source level, where the race detector
+// and example-based tests cannot see them.
+//
+// Four rules are implemented (see rules.go): no-wallclock, no-global-rand,
+// no-map-range-state and channel-discipline. Every finding is individually
+// suppressible with a directive comment on the offending line or the line
+// directly above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is ignored. The analyzer
+// uses only go/ast, go/build, go/parser, go/token, go/types and go/importer,
+// matching the module's zero-dependency go.mod.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned relative to the analyzed root.
+type Diagnostic struct {
+	// Position locates the finding; Filename is root-relative with forward
+	// slashes, so diagnostic output is stable across machines.
+	Position token.Position
+	// Rule names the violated rule.
+	Rule string
+	// Message explains the finding.
+	Message string
+}
+
+// String renders the finding in the stable file:line:col format CI greps.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s",
+		d.Position.Filename, d.Position.Line, d.Position.Column, d.Rule, d.Message)
+}
+
+// Run analyzes the packages matched by patterns, which are interpreted
+// relative to root (a directory; "./..." walks the whole tree, "./x/..."
+// walks a subtree, anything else names one package directory). When root
+// contains a go.mod, its module path prefixes the import path of every
+// analyzed package; otherwise import paths are the root-relative directory
+// paths (the fixture-tree convention). The returned diagnostics are sorted
+// by file, line, column and rule.
+func Run(root string, patterns []string) ([]Diagnostic, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		root:    root,
+		module:  modulePath(root),
+		fset:    token.NewFileSet(),
+		checked: make(map[string]*checkedPkg),
+	}
+	a.std = importer.ForCompiler(a.fset, "source", nil)
+
+	dirs, err := a.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		ds, err := a.analyzeDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// modulePath reads the module directive from root/go.mod, or returns "".
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// analyzer loads, typechecks and lints packages under one root.
+type analyzer struct {
+	root    string
+	module  string
+	fset    *token.FileSet
+	std     types.Importer
+	checked map[string]*checkedPkg
+}
+
+// checkedPkg memoizes one typechecked package.
+type checkedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+// expand resolves the CLI patterns into package directories.
+func (a *analyzer) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			base := a.root
+			if pat != "..." {
+				base = filepath.Join(a.root, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			}
+			if err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(a.root, filepath.FromSlash(pat)))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPath maps a directory under root to its import path.
+func (a *analyzer) importPath(dir string) (string, error) {
+	rel, err := filepath.Rel(a.root, dir)
+	if err != nil {
+		return "", err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		if a.module != "" {
+			return a.module, nil
+		}
+		return "main", nil
+	}
+	if strings.HasPrefix(rel, "../") {
+		return "", fmt.Errorf("lint: %s is outside the analyzed root %s", dir, a.root)
+	}
+	if a.module != "" {
+		return a.module + "/" + rel, nil
+	}
+	return rel, nil
+}
+
+// analyzeDir typechecks one package directory and runs every rule on it.
+func (a *analyzer) analyzeDir(dir string) ([]Diagnostic, error) {
+	path, err := a.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	cp := a.check(dir, path)
+	if cp.err != nil {
+		return nil, cp.err
+	}
+	ig := newIgnorer(a.fset, cp.files)
+	var diags []Diagnostic
+	p := &pass{
+		path:  path,
+		fset:  a.fset,
+		files: cp.files,
+		info:  cp.info,
+		report: func(pos token.Pos, rule, format string, args ...any) {
+			position := a.fset.Position(pos)
+			if ig.suppressed(position, rule) {
+				return
+			}
+			if rel, err := filepath.Rel(a.root, position.Filename); err == nil {
+				position.Filename = filepath.ToSlash(rel)
+			}
+			diags = append(diags, Diagnostic{
+				Position: position,
+				Rule:     rule,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		},
+	}
+	for _, r := range rules {
+		if r.applies(path) {
+			r.run(p)
+		}
+	}
+	return diags, nil
+}
+
+// check parses and typechecks the package in dir, memoized by import path.
+// Build constraints are honoured via go/build, so tag-gated files (e.g. the
+// ttdiag_invariants variant of internal/invariant) are resolved exactly as
+// an untagged `go build` would resolve them. _test.go files are excluded:
+// tests may legitimately sleep, time out and shuffle.
+func (a *analyzer) check(dir, path string) *checkedPkg {
+	if cp, ok := a.checked[path]; ok {
+		return cp
+	}
+	cp := &checkedPkg{}
+	a.checked[path] = cp
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		cp.err = fmt.Errorf("lint: %s: %w", dir, err)
+		return cp
+	}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(a.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			cp.err = fmt.Errorf("lint: %w", err)
+			return cp
+		}
+		cp.files = append(cp.files, f)
+	}
+	cp.info = &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*moduleImporter)(a),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	cp.pkg, _ = conf.Check(path, a.fset, cp.files, cp.info)
+	if len(typeErrs) > 0 {
+		cp.err = fmt.Errorf("lint: typecheck %s: %v", path, typeErrs[0])
+	}
+	return cp
+}
+
+// moduleImporter resolves intra-module imports by typechecking the imported
+// package from source under the analyzed root, and delegates everything else
+// to the stdlib source importer (GOROOT/src; no network, no go command).
+type moduleImporter analyzer
+
+var _ types.ImporterFrom = (*moduleImporter)(nil)
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (m *moduleImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	a := (*analyzer)(m)
+	if a.module != "" && (path == a.module || strings.HasPrefix(path, a.module+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, a.module), "/")
+		cp := a.check(filepath.Join(a.root, filepath.FromSlash(rel)), path)
+		if cp.err != nil {
+			return nil, cp.err
+		}
+		return cp.pkg, nil
+	}
+	return a.std.Import(path)
+}
+
+// ignorer indexes //lint:ignore directives by file and line. A directive
+// suppresses matching findings on its own line (trailing comment) and on the
+// line directly below it (standalone comment above the statement).
+type ignorer struct {
+	// rulesAt[file][line] lists the rules ignored at that line.
+	rulesAt map[string]map[int][]string
+}
+
+func newIgnorer(fset *token.FileSet, files []*ast.File) *ignorer {
+	ig := &ignorer{rulesAt: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					// The reason is mandatory; an unexplained directive
+					// does not suppress anything.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := ig.rulesAt[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					ig.rulesAt[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return ig
+}
+
+func (ig *ignorer) suppressed(pos token.Position, rule string) bool {
+	byLine := ig.rulesAt[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range byLine[line] {
+			if r == rule || r == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from current analyzer output")
+
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestGolden runs every rule over the fixture tree and compares the full
+// sorted diagnostic listing against the checked-in golden file: each rule's
+// negative cases must fire and each //lint:ignore suppression must hold.
+func TestGolden(t *testing.T) {
+	diags, err := Run(fixtureRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "expect.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from %s (rerun with -update to accept):\ngot:\n%swant:\n%s", golden, got, want)
+	}
+}
+
+// TestGoldenCoversEveryRule guards the golden file itself: a refactor that
+// silently stops a rule from firing must not pass unnoticed.
+func TestGoldenCoversEveryRule(t *testing.T) {
+	diags, err := Run(fixtureRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, d := range diags {
+		seen[d.Rule]++
+	}
+	for _, r := range rules {
+		if seen[r.name] == 0 {
+			t.Errorf("rule %s produced no finding on the fixture tree", r.name)
+		}
+	}
+}
+
+// TestSuppressedLinesStayQuiet pins the directive semantics: the sorted-key
+// collection loop, the same-line sleep and the exempt rng package must not
+// appear in the output, while the reason-less directive must not suppress.
+func TestSuppressedLinesStayQuiet(t *testing.T) {
+	diags, err := Run(fixtureRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.HasPrefix(d.Position.Filename, "internal/rng/") {
+			t.Errorf("finding in the rand-exempt package: %s", d)
+		}
+		if strings.HasPrefix(d.Position.Filename, "internal/tdma/") {
+			t.Errorf("finding in the clean fixture package: %s", d)
+		}
+	}
+	// The reason-less directive in core/fixture.go precedes a time.Sleep at
+	// line 57 that must still be reported.
+	found := false
+	for _, d := range diags {
+		if d.Position.Filename == "internal/core/fixture.go" && d.Position.Line == 57 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("a //lint:ignore directive without a reason suppressed a finding")
+	}
+}
+
+// TestSingleDirPattern checks explicit-package patterns.
+func TestSingleDirPattern(t *testing.T) {
+	diags, err := Run(fixtureRoot(t), []string{"./internal/rng"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("rand-exempt package produced findings: %v", diags)
+	}
+	diags, err = Run(fixtureRoot(t), []string{"./internal/cluster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("cluster fixture produced %d findings, want 2: %v", len(diags), diags)
+	}
+}
+
+// TestSelfCheck asserts the repository is clean under its own analyzer — the
+// property scripts/check.sh enforces in CI.
+func TestSelfCheck(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	diags, err := Run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
+// TestDiagnosticsSorted pins the stable output ordering CI depends on.
+func TestDiagnosticsSorted(t *testing.T) {
+	diags, err := Run(fixtureRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Position.Filename > b.Position.Filename ||
+			(a.Position.Filename == b.Position.Filename && a.Position.Line > b.Position.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

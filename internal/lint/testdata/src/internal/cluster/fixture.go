@@ -1,0 +1,44 @@
+// Package cluster is a lint fixture for the channel-discipline rule: bare
+// sends, mutex-by-value copies, the compliant select form and a suppressed
+// finding. It is never built by the real module (testdata).
+package cluster
+
+import "sync"
+
+type mailbox struct {
+	mu    sync.Mutex
+	count int
+}
+
+// Post sends outside a select — a node goroutine blocked here can deadlock
+// against a coordinator that stopped listening.
+func Post(ch chan int, v int) {
+	ch <- v
+}
+
+// PostShutdown is the compliant form: the send is one case of a select with
+// a quit case.
+func PostShutdown(ch chan int, quit chan struct{}, v int) {
+	select {
+	case ch <- v:
+	case <-quit:
+	}
+}
+
+// Copy takes a mutex-bearing struct by value, duplicating its lock state.
+func Copy(mb mailbox) int {
+	return mb.count
+}
+
+// Use takes a pointer — the compliant form.
+func Use(mb *mailbox) int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.count
+}
+
+// Blast keeps a bare send with a recorded justification.
+func Blast(ch chan int) {
+	//lint:ignore channel-discipline fixture send; the channel is buffered by contract
+	ch <- 1
+}

@@ -1,0 +1,68 @@
+// Package core is a lint fixture: it deliberately violates the no-wallclock,
+// no-global-rand and no-map-range-state rules, and demonstrates the
+// //lint:ignore directive. It is never built by the real module (testdata).
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the host clock — forbidden in deterministic packages.
+func Clock() time.Time {
+	return time.Now()
+}
+
+// Jitter draws from the global rand source and sleeps on the host clock.
+func Jitter() time.Duration {
+	d := time.Duration(rand.Intn(10)) * time.Millisecond
+	time.Sleep(d)
+	return d
+}
+
+// Elapsed also depends on the host clock, through a function value.
+var Elapsed = time.Since
+
+// Sum leaks map-iteration order into its accumulation sequence.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned iteration pattern: collect, sort, then use.
+// The collection loop itself is order-independent, which the directive
+// records.
+func SortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	//lint:ignore no-map-range-state key collection precedes the sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Banner shows a same-line suppression.
+func Banner() {
+	time.Sleep(0) //lint:ignore no-wallclock fixture demonstrates same-line suppression
+}
+
+// Unexplained shows that a directive without a reason suppresses nothing.
+func Unexplained() {
+	//lint:ignore no-wallclock
+	time.Sleep(0)
+}
+
+// Durations shows that time.Duration arithmetic stays legal; only clock
+// reads are banned.
+const slotLen = 250 * time.Microsecond
+
+// Seeded shows that owning a seeded generator is legal; only the global
+// source is banned.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}

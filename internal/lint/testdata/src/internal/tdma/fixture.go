@@ -1,0 +1,23 @@
+// Package tdma is a clean lint fixture: deterministic code in a scoped
+// package that must produce zero findings.
+package tdma
+
+import "time"
+
+// SlotLen is duration arithmetic, not a clock read.
+const SlotLen = 250 * time.Microsecond
+
+// Window derives times from the simulated schedule only.
+func Window(slot int) (time.Duration, time.Duration) {
+	start := time.Duration(slot) * SlotLen
+	return start, start + SlotLen
+}
+
+// Join iterates a slice — ordered, allowed anywhere.
+func Join(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}

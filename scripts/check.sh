@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# check.sh is the repository's full correctness gate: formatting, go vet,
+# build, tests, the race detector on the concurrent packages, the
+# ttdiag_invariants-enabled test run, and the determinism analyzer
+# (cmd/ttdiag-lint). CI runs exactly these steps; run it locally before
+# sending a PR. See docs/STATIC_ANALYSIS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/cluster/... ./internal/sim/...
+
+echo "== go test -tags ttdiag_invariants =="
+go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...
+
+echo "== ttdiag-lint =="
+go run ./cmd/ttdiag-lint ./...
+
+echo "All checks passed."
