@@ -50,7 +50,7 @@ func BenchmarkTable4AdverseScenarios(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err := tuning.TimeToIncorrectIsolation(fault.LightningBolt(), res, 1, int64(i), true)
+		rows, err := tuning.TimeToIncorrectIsolation(fault.LightningBolt(), res, 1, 1, int64(i), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +60,29 @@ func BenchmarkTable4AdverseScenarios(b *testing.B) {
 	}
 }
 
-func BenchmarkSec8BurstCampaign(b *testing.B) { benchExperiment(b, "sec8-bursts", 1) }
+// BenchmarkSec8BurstCampaign runs the full 12-class, 100-repetition burst
+// campaign at several worker counts. The rendered output is bit-identical
+// across the sub-benchmarks; only the wall clock changes (on multi-core
+// hosts — with GOMAXPROCS=1 the pool degenerates to the serial path plus
+// channel overhead).
+func BenchmarkSec8BurstCampaign(b *testing.B) {
+	for _, workers := range []int{1, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := experiments.Run("sec8-bursts", experiments.Params{
+					Seed: 1, Runs: 100, Workers: workers, Out: io.Discard,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkSec8MaliciousCampaign(b *testing.B) { benchExperiment(b, "sec8-malicious", 1) }
 

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s]
+//	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s] [-workers n]
+//	                   [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -12,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ttdiag/internal/experiments"
 )
@@ -26,11 +29,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ttdiag-experiments", flag.ContinueOnError)
 	var (
-		list = fs.Bool("list", false, "list the registered experiments and exit")
-		id   = fs.String("run", "", "run a single experiment by ID (default: all)")
-		runs = fs.Int("runs", 100, "Monte-Carlo repetitions per experiment class")
-		seed = fs.Int64("seed", 2007, "master seed for randomised campaigns")
-		out  = fs.String("out", "", "also write the rendered artifacts to this file")
+		list       = fs.Bool("list", false, "list the registered experiments and exit")
+		id         = fs.String("run", "", "run a single experiment by ID (default: all)")
+		runs       = fs.Int("runs", 100, "Monte-Carlo repetitions per experiment class")
+		seed       = fs.Int64("seed", 2007, "master seed for randomised campaigns")
+		workers    = fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical at any value")
+		out        = fs.String("out", "", "also write the rendered artifacts to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,6 +47,28 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // flush unreachable allocations so the profile reflects live + cumulative state
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -50,7 +78,7 @@ func run(args []string) error {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	p := experiments.Params{Seed: *seed, Runs: *runs, Out: w}
+	p := experiments.Params{Seed: *seed, Runs: *runs, Workers: *workers, Out: w}
 	if *id != "" {
 		return experiments.Run(*id, p)
 	}

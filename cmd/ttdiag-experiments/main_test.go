@@ -29,6 +29,24 @@ func TestBadFlag(t *testing.T) {
 	}
 }
 
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	if err := run([]string{"-run", "sec8-bursts", "-runs", "2", "-workers", "2",
+		"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
 func TestOutFlag(t *testing.T) {
 	path := t.TempDir() + "/report.txt"
 	if err := run([]string{"-run", "fig2", "-out", path}); err != nil {

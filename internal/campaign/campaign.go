@@ -1,0 +1,130 @@
+// Package campaign is the parallel Monte-Carlo campaign engine: it fans
+// independent repetitions of a fault-injection experiment across a bounded
+// worker pool while keeping the aggregate result bit-identical to the serial
+// execution at any worker count.
+//
+// The determinism contract has two halves, and both are the caller's and the
+// engine's job respectively:
+//
+//   - The caller's run function must be self-contained: it derives every
+//     random stream it needs from the master seed and its own run index
+//     (e.g. rng.Source.Stream("sec8-bursts/run-7")), shares no mutable state
+//     with other runs, and never reads scheduling-dependent inputs. Named
+//     stream derivation is order-independent by construction, so run 7 draws
+//     the same sequence whether it executes first, last or concurrently.
+//   - The engine writes each run's result into a pre-sized slice at the
+//     run's own index and aggregates only after every worker has joined, so
+//     result order — and therefore every downstream summary statistic and
+//     rendered row — never depends on goroutine scheduling.
+//
+// Workers <= 0 selects GOMAXPROCS workers; Workers == 1 bypasses the pool
+// entirely and recovers the exact serial execution.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count setting: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS), anything else is taken as given.
+func Workers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(0) .. fn(runs-1) on a pool of the given number of workers
+// and returns the results indexed by run. The result slice is identical for
+// every worker count as long as fn is a pure function of its run index (see
+// the package comment for the full contract).
+//
+// On failure the first error — the error of the lowest-indexed failing run
+// that was observed — is returned and the remaining runs are cancelled;
+// already-running repetitions finish or fail on their own, but no new run is
+// dispatched. With workers == 1 the runs execute serially on the calling
+// goroutine and the first error aborts the loop immediately, exactly like
+// the pre-engine serial campaign loops.
+func Run[T any](workers, runs int, fn func(run int) (T, error)) ([]T, error) {
+	if runs < 0 {
+		return nil, fmt.Errorf("campaign: negative run count %d", runs)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("campaign: nil run function")
+	}
+	workers = Workers(workers)
+	if workers > runs {
+		workers = runs
+	}
+	results := make([]T, runs)
+	if workers <= 1 {
+		for run := 0; run < runs; run++ {
+			v, err := fn(run)
+			if err != nil {
+				return nil, fmt.Errorf("campaign: run %d: %w", run, err)
+			}
+			results[run] = v
+		}
+		return results, nil
+	}
+
+	var (
+		jobs = make(chan int)
+		quit = make(chan struct{})
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		once     sync.Once
+		firstRun = -1
+		firstErr error
+	)
+	fail := func(run int, err error) {
+		mu.Lock()
+		if firstRun < 0 || run < firstRun {
+			firstRun, firstErr = run, err
+		}
+		mu.Unlock()
+		once.Do(func() { close(quit) })
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case run, ok := <-jobs:
+					if !ok {
+						return
+					}
+					v, err := fn(run)
+					if err != nil {
+						fail(run, err)
+						return
+					}
+					// Index-addressed write: no two runs share an index, so
+					// the slice needs no lock and the final content is
+					// independent of which worker executed which run.
+					results[run] = v
+				case <-quit:
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for run := 0; run < runs; run++ {
+		select {
+		case jobs <- run:
+		case <-quit:
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("campaign: run %d: %w", firstRun, firstErr)
+	}
+	return results, nil
+}

@@ -164,19 +164,57 @@ type RoundOutput struct {
 	Accused []int
 }
 
+// alignBuf holds one round's buffered controller observations for read and
+// send alignment (Alg. 1 lines 16-17): the raw interface state and the
+// aligned local syndrome derived from it. The protocol keeps two of these
+// and alternates between them — the buffer written in round k is the one
+// read in round k+1 — so the steady-state hot path performs no allocation
+// for the clones the original algorithm keeps.
+type alignBuf struct {
+	// dm[j] is this buffer's copy of interface variable j; it is meaningful
+	// only when set[j] holds (set[j] == false is the ε case, a nil DM).
+	dm  []Syndrome
+	set []bool
+	// ls is the validity vector observed in the buffered round.
+	ls Syndrome
+	// al is the aligned local syndrome computed in the buffered round (used
+	// by send alignment, Alg. 1 line 9).
+	al Syndrome
+}
+
+func newAlignBuf(n int) alignBuf {
+	b := alignBuf{
+		dm:  make([]Syndrome, n+1),
+		set: make([]bool, n+1),
+		ls:  NewSyndrome(n, Healthy),
+		al:  NewSyndrome(n, Healthy),
+	}
+	for j := 1; j <= n; j++ {
+		b.dm[j] = NewSyndrome(n, Healthy)
+		b.set[j] = true
+	}
+	return b
+}
+
 // Protocol is the per-node diagnostic job state machine (Alg. 1). Create one
 // per node with NewProtocol and call Step exactly once per TDMA round.
+//
+// Buffer ownership: Step copies its inputs into protocol-owned scratch
+// (callers may reuse RoundInput slices immediately), and everything placed
+// in RoundOutput is backed by memory allocated for that round alone — the
+// output is safe to retain indefinitely; no later Step mutates it.
 type Protocol struct {
 	cfg   Config
 	pr    *PenaltyReward
 	steps int
 
-	// Buffers for read alignment (Alg. 1 lines 16-17).
-	prevDM []Syndrome
-	prevLS Syndrome
-	// prevAlLS is the aligned local syndrome of the previous round (used by
-	// send alignment, Alg. 1 line 9).
-	prevAlLS Syndrome
+	// bufs double-buffers the read/send-alignment state: round k reads
+	// bufs[k%2] (written in round k-1) and writes bufs[(k+1)%2].
+	bufs [2]alignBuf
+	// alDM is the scratch aligned-DM view of the current round. Its entries
+	// alias the previous round's buffer or the caller's input and never
+	// escape: the diagnostic matrix copies every row it is given.
+	alDM []Syndrome
 	// lastSent / prevSent are the dissemination payloads of the previous
 	// two rounds; the one physically transmitted in round k-1 is this
 	// node's own row of the diagnostic matrix.
@@ -208,9 +246,8 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 	p := &Protocol{
 		cfg:        cfg,
 		pr:         pr,
-		prevDM:     make([]Syndrome, cfg.N+1),
-		prevLS:     NewSyndrome(cfg.N, Healthy),
-		prevAlLS:   NewSyndrome(cfg.N, Healthy),
+		bufs:       [2]alignBuf{newAlignBuf(cfg.N), newAlignBuf(cfg.N)},
+		alDM:       make([]Syndrome, cfg.N+1),
 		lastSent:   NewSyndrome(cfg.N, Healthy),
 		prevSent:   NewSyndrome(cfg.N, Healthy),
 		accuse:     make([]int, cfg.N+1),
@@ -218,9 +255,6 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 	}
 	for j := range p.accusedAge {
 		p.accusedAge[j] = accusationSkew + 1
-	}
-	for j := 1; j <= cfg.N; j++ {
-		p.prevDM[j] = NewSyndrome(cfg.N, Healthy)
 	}
 	return p, nil
 }
@@ -243,23 +277,49 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	if len(in.DMs) != n+1 {
 		return RoundOutput{}, fmt.Errorf("core: node %d: DMs has %d entries, want %d", p.cfg.ID, len(in.DMs), n+1)
 	}
+	for j := 1; j <= n; j++ {
+		if in.DMs[j] != nil && in.DMs[j].N() != n {
+			return RoundOutput{}, fmt.Errorf("core: matrix row %d has %d entries, want %d", j, in.DMs[j].N(), n)
+		}
+	}
+
+	// rd was written in the previous round; wr becomes next round's rd.
+	rd := &p.bufs[p.steps&1]
+	wr := &p.bufs[(p.steps+1)&1]
+
+	// The round's entire retainable output — matrix cells, consistent health
+	// vector and outgoing syndrome — lives in one block, so the steady-state
+	// warm path costs a fixed four allocations per Step regardless of N
+	// (block, Matrix header, encoded payload, activity copy).
+	w := n + 1
+	block := make(Syndrome, w*w+2*w)
+	cells := block[0 : w*w : w*w]
+	consHV := block[w*w : w*w+w : w*w+w]
+	outSyn := block[w*w+w : w*w+2*w : w*w+2*w]
+	consHV[0], outSyn[0] = Erased, Erased
 
 	// Phases 1 and 3 — local detection and aggregation (read alignment,
 	// Alg. 1 lines 1-6): entries 1..l_i come from the previous read, the
 	// rest from the current one, so every aligned value refers to a message
 	// sent in round k-1. Under dynamic scheduling the read point is pinned
 	// to round start (l = 0): the inputs come from the middleware's
-	// round-start snapshot, so everything is read from curr.
+	// round-start snapshot, so everything is read from curr. The aligned
+	// syndromes stay scratch (alDM aliases rd and the caller's input; the
+	// matrix copies every row), and the aligned local syndrome is computed
+	// directly into wr.al, where next round's send alignment expects it.
 	l := p.cfg.L
 	if p.cfg.Dynamic {
 		l = 0
 	}
-	alDM := make([]Syndrome, n+1)
-	alLS := NewSyndrome(n, Healthy)
+	alDM := p.alDM
+	alLS := wr.al
 	for j := 1; j <= n; j++ {
 		if j <= l {
-			alDM[j] = p.prevDM[j]
-			alLS[j] = p.prevLS[j]
+			alDM[j] = nil
+			if rd.set[j] {
+				alDM[j] = rd.dm[j]
+			}
+			alLS[j] = rd.ls[j]
 		} else {
 			alDM[j] = in.DMs[j]
 			alLS[j] = in.Validity[j]
@@ -274,7 +334,7 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	warm := p.steps >= p.cfg.Lag()
 	var matrix *Matrix
 	if warm {
-		matrix = NewMatrix(n)
+		matrix = newMatrixIn(n, cells)
 		for j := 1; j <= n; j++ {
 			row := alDM[j]
 			if j == p.cfg.ID {
@@ -288,7 +348,6 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 			}
 		}
 		diagRound := in.Round - p.cfg.Lag()
-		consHV := NewSyndrome(n, Healthy)
 		for j := 1; j <= n; j++ {
 			if v, ok := matrix.Vote(j); ok {
 				consHV[j] = v
@@ -331,14 +390,13 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	// Phase 2 — dissemination (send alignment, Alg. 1 lines 7-10): choose
 	// the syndrome whose transmission round keeps all disseminated
 	// syndromes referring to the same diagnosed round.
-	var outSyn Syndrome
 	switch {
 	case p.cfg.AllSendCurrRound:
-		outSyn = alLS.Clone()
+		copy(outSyn, alLS)
 	case p.cfg.SendCurrRound:
-		outSyn = p.prevAlLS.Clone()
+		copy(outSyn, rd.al)
 	default:
-		outSyn = alLS.Clone()
+		copy(outSyn, alLS)
 	}
 	if p.cfg.Mode == ModeMembership {
 		for j := 1; j <= n; j++ {
@@ -362,12 +420,18 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	}
 	out.Active = p.pr.Active()
 
-	// Buffering for the next round (Alg. 1 lines 16-17).
+	// Buffering for the next round (Alg. 1 lines 16-17): copy this round's
+	// raw observations into the buffer the next Step will read. wr.al
+	// already holds the aligned local syndrome (written during alignment),
+	// and outSyn lives in this round's private block, so retaining it as
+	// lastSent costs nothing and is never mutated by later rounds.
 	for j := 1; j <= n; j++ {
-		p.prevDM[j] = in.DMs[j].Clone()
+		wr.set[j] = in.DMs[j] != nil
+		if wr.set[j] {
+			copy(wr.dm[j], in.DMs[j])
+		}
 	}
-	p.prevLS = in.Validity.Clone()
-	p.prevAlLS = alLS
+	copy(wr.ls, in.Validity)
 	p.prevSent = p.lastSent
 	p.lastSent = outSyn
 	for j := 1; j <= n; j++ {

@@ -32,13 +32,16 @@ type prSnapshot struct {
 }
 
 // Snapshot serialises the protocol's full state (configuration, alignment
-// buffers, accusation state and penalty/reward counters) to JSON.
+// buffers, accusation state and penalty/reward counters) to JSON. The wire
+// format is unchanged from the pre-double-buffering layout: only the buffer
+// the next Step will read (the previous round's observations) is captured.
 func (p *Protocol) Snapshot() ([]byte, error) {
+	rd := &p.bufs[p.steps&1]
 	snap := protocolSnapshot{
 		Config:     p.cfg,
 		Steps:      p.steps,
-		PrevLS:     p.prevLS,
-		PrevAlLS:   p.prevAlLS,
+		PrevLS:     rd.ls,
+		PrevAlLS:   rd.al,
 		LastSent:   p.lastSent,
 		PrevSent:   p.prevSent,
 		Accuse:     p.accuse,
@@ -52,8 +55,8 @@ func (p *Protocol) Snapshot() ([]byte, error) {
 	}
 	snap.PrevDM = make(map[int]Syndrome)
 	for j := 1; j <= p.cfg.N; j++ {
-		if p.prevDM[j] != nil {
-			snap.PrevDM[j] = p.prevDM[j]
+		if rd.set[j] {
+			snap.PrevDM[j] = rd.dm[j]
 		}
 	}
 	return json.Marshal(snap)
@@ -98,8 +101,11 @@ func RestoreProtocol(data []byte) (*Protocol, error) {
 		return nil, fmt.Errorf("core: restore: penalty/reward state has wrong size")
 	}
 	p.steps = snap.Steps
-	p.prevLS = snap.PrevLS
-	p.prevAlLS = snap.PrevAlLS
+	// Fill the buffer the next Step will read; the other buffer is dead
+	// state (it is fully rewritten before it is ever read again).
+	rd := &p.bufs[p.steps&1]
+	copy(rd.ls, snap.PrevLS)
+	copy(rd.al, snap.PrevAlLS)
 	p.lastSent = snap.LastSent
 	p.prevSent = snap.PrevSent
 	p.accuse = snap.Accuse
@@ -109,9 +115,10 @@ func RestoreProtocol(data []byte) (*Protocol, error) {
 			if err := check("prevDM", dm); err != nil {
 				return nil, err
 			}
-			p.prevDM[j] = dm
+			copy(rd.dm[j], dm)
+			rd.set[j] = true
 		} else {
-			p.prevDM[j] = nil
+			rd.set[j] = false
 		}
 	}
 	p.pr.penalties = snap.PR.Penalties

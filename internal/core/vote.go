@@ -40,38 +40,67 @@ func HMaj(votes []Opinion) (Opinion, bool) {
 // aligned local syndrome received from node j (nil for an ε row — node j's
 // syndrome was not received), and column i is the set of opinions about
 // node i.
+//
+// The matrix owns a single flat backing array: SetRow copies the given
+// syndrome into it, so a Matrix retained from a RoundOutput stays valid even
+// though the protocol reuses its alignment buffers round over round, and the
+// whole structure costs two allocations regardless of N. Row 0 of the
+// backing array is never exposed (rows are 1-based) and stores the per-row
+// presence flags: cells[j] == Healthy iff row j is set.
 type Matrix struct {
-	n    int
-	rows []Syndrome // 1-based; nil row == ε
+	n     int
+	cells Syndrome // (n+1)*(n+1), row-major; row j at [j*(n+1), (j+1)*(n+1))
 }
 
 // NewMatrix returns an empty diagnostic matrix for n nodes (all rows ε).
 func NewMatrix(n int) *Matrix {
-	return &Matrix{n: n, rows: make([]Syndrome, n+1)}
+	return newMatrixIn(n, make(Syndrome, (n+1)*(n+1)))
+}
+
+// newMatrixIn wraps a zeroed caller-provided backing array of length
+// (n+1)*(n+1) as an empty matrix: the zero Opinion is Faulty, which reads as
+// "row absent" in the presence row, so no initialisation pass is needed.
+func newMatrixIn(n int, cells Syndrome) *Matrix {
+	return &Matrix{n: n, cells: cells}
 }
 
 // N returns the system size.
 func (m *Matrix) N() int { return m.n }
 
 // SetRow installs the local syndrome received from node j; a nil syndrome
-// marks the row as ε. The syndrome is not copied.
+// marks the row as ε. The syndrome is copied, so the caller may reuse its
+// buffer afterwards.
 func (m *Matrix) SetRow(j int, s Syndrome) error {
 	if j < 1 || j > m.n {
 		return fmt.Errorf("core: matrix row %d out of range 1..%d", j, m.n)
 	}
-	if s != nil && s.N() != m.n {
+	if s == nil {
+		m.cells[j] = Faulty
+		return nil
+	}
+	if s.N() != m.n {
 		return fmt.Errorf("core: matrix row %d has %d entries, want %d", j, s.N(), m.n)
 	}
-	m.rows[j] = s
+	row := m.rowSlice(j)
+	copy(row, s)
+	row[0] = Erased
+	m.cells[j] = Healthy
 	return nil
 }
 
-// Row returns the syndrome of row j (nil for ε).
+// rowSlice returns the full-capacity-clamped storage of row j.
+func (m *Matrix) rowSlice(j int) Syndrome {
+	w := m.n + 1
+	return m.cells[j*w : (j+1)*w : (j+1)*w]
+}
+
+// Row returns the syndrome of row j (nil for ε). The returned slice aliases
+// the matrix storage and must not be mutated.
 func (m *Matrix) Row(j int) Syndrome {
-	if j < 1 || j > m.n {
+	if j < 1 || j > m.n || m.cells[j] != Healthy {
 		return nil
 	}
-	return m.rows[j]
+	return m.rowSlice(j)
 }
 
 // Opinion returns accuser's opinion about accused, Erased when the accuser's
@@ -98,9 +127,29 @@ func (m *Matrix) Column(j int) []Opinion {
 	return votes
 }
 
-// Vote runs H-maj over column j.
+// Vote runs H-maj over column j. It is equivalent to HMaj(m.Column(j)) but
+// walks the column in place instead of materialising the vote slice — this
+// sits on the per-round hot path of every node.
 func (m *Matrix) Vote(j int) (Opinion, bool) {
-	return HMaj(m.Column(j))
+	var faulty, healthy int
+	for i := 1; i <= m.n; i++ {
+		if i == j {
+			continue
+		}
+		switch m.Opinion(i, j) {
+		case Faulty:
+			faulty++
+		case Healthy:
+			healthy++
+		}
+	}
+	if faulty+healthy == 0 {
+		return Erased, false
+	}
+	if faulty > healthy {
+		return Faulty, true
+	}
+	return Healthy, true
 }
 
 // String renders the matrix in the layout of Table 1, including the voted

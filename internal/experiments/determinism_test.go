@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCampaignWorkerCountInvariance is the campaign engine's end-to-end
+// determinism check: the fully rendered artifact must be byte-identical
+// whether the Monte-Carlo repetitions run serially or on eight workers.
+// Run under -race (scripts/check.sh and CI do, with -cpu=1,4) this also
+// exercises the pool for data races on the shared results slice.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"sec8-bursts", "table4"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers int) string {
+				var buf bytes.Buffer
+				if err := Run(id, Params{Seed: 7, Runs: 2, Workers: workers, Out: &buf}); err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return buf.String()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Fatalf("rendered output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- 8 workers ---\n%s", serial, parallel)
+			}
+			if serial == "" {
+				t.Fatal("experiment rendered nothing")
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"ttdiag/internal/campaign"
 	"ttdiag/internal/core"
 	"ttdiag/internal/fault"
 	"ttdiag/internal/platform"
@@ -92,7 +93,7 @@ func runScaleResilience(p Params) error {
 	t := newTable(p.Out)
 	t.row("N", "a", "s", "b", "bound holds", "runs", "violations")
 	t.rule(7)
-	stream := rng.NewSource(p.Seed).Stream("scale")
+	src := rng.NewSource(p.Seed)
 	for _, n := range []int{4, 6, 8, 12, 16} {
 		// The largest tolerable counts: s alone, b alone, and a mix with
 		// one asymmetric fault.
@@ -109,7 +110,7 @@ func runScaleResilience(p Params) error {
 			if a < 0 || s < 0 || b < 0 || !(n > 2*a+2*s+b+1) {
 				continue
 			}
-			violations, err := resilienceRuns(n, a, s, b, p.Runs, stream)
+			violations, err := resilienceRuns(n, a, s, b, p.Runs, p.Workers, src)
 			if err != nil {
 				return err
 			}
@@ -119,7 +120,7 @@ func runScaleResilience(p Params) error {
 	}
 	// Bound violation: N=4 with two malicious syndrome sources
 	// (4 > 2*2+1 is false) — correct nodes get convicted.
-	violations, err := resilienceRuns(4, 0, 2, 0, p.Runs, stream)
+	violations, err := resilienceRuns(4, 0, 2, 0, p.Runs, p.Workers, src)
 	if err != nil {
 		return err
 	}
@@ -133,10 +134,13 @@ func runScaleResilience(p Params) error {
 
 // resilienceRuns executes `runs` campaigns on an n-node cluster with a
 // asymmetric (SOS), s symmetric-malicious and b benign coincident faults and
-// returns how many runs violated a Theorem 1 audit.
-func resilienceRuns(n, a, s, b, runs int, stream *rng.Stream) (int, error) {
-	violations := 0
-	for run := 0; run < runs; run++ {
+// returns how many runs violated a Theorem 1 audit. Each run derives its own
+// streams (schedule draw and malicious payloads) from the master source, the
+// fault mix and its run index, so the count is worker-count independent.
+func resilienceRuns(n, a, s, b, runs, workers int, src *rng.Source) (int, error) {
+	failed, err := campaign.Run(workers, runs, func(run int) (bool, error) {
+		scope := fmt.Sprintf("scale/N%d-a%d-s%d-b%d/run-%d", n, a, s, b, run)
+		stream := src.Stream(scope)
 		ls := make([]int, n)
 		for i := range ls {
 			ls[i] = stream.Intn(n)
@@ -145,19 +149,22 @@ func resilienceRuns(n, a, s, b, runs int, stream *rng.Stream) (int, error) {
 			N: n, RoundLen: sim.DefaultRoundLen * time.Duration(n) / 4, Ls: ls,
 		})
 		if err != nil {
-			return 0, err
+			return false, err
 		}
 		col := sim.NewCollector()
 		for id := 1; id <= n; id++ {
 			col.HookDiag(id, runners[id])
 		}
 		// Assign fault roles to distinct nodes: 1..s malicious, then b
-		// benign (corrupted slots in one round), then a asymmetric.
+		// benign (corrupted slots in one round), then a asymmetric. Each
+		// malicious node gets its own payload stream: the engine consumes
+		// them lazily during the run, so they must not share draws with
+		// anything else.
 		var obedient []int
 		node := 1
 		for i := 0; i < s; i++ {
 			eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
-				tdma.NodeID(node), stream))
+				tdma.NodeID(node), src.Stream(fmt.Sprintf("%s/mal-%d", scope, node))))
 			node++
 		}
 		const faultRound = 8
@@ -182,9 +189,16 @@ func resilienceRuns(n, a, s, b, runs int, stream *rng.Stream) (int, error) {
 			}
 		}
 		if err := eng.RunRounds(faultRound + 10); err != nil {
-			return 0, err
+			return false, err
 		}
-		if err := sim.AuditTheorem1(eng, col, obedient, 4, faultRound+6); err != nil {
+		return sim.AuditTheorem1(eng, col, obedient, 4, faultRound+6) != nil, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	violations := 0
+	for _, f := range failed {
+		if f {
 			violations++
 		}
 	}

@@ -19,6 +19,10 @@ type Params struct {
 	// Runs is the number of Monte-Carlo repetitions for experiments that
 	// repeat injections (the paper uses 100 per experiment class).
 	Runs int
+	// Workers bounds the campaign worker pool: <= 0 means one worker per
+	// CPU (GOMAXPROCS), 1 recovers serial execution. The rendered output is
+	// bit-identical at any setting — see internal/campaign.
+	Workers int
 	// Out receives the rendered artifact.
 	Out io.Writer
 }

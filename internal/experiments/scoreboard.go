@@ -68,11 +68,11 @@ func runScoreboard(p Params) error {
 	// Table 4: time to incorrect isolation, round-aligned runs; the paper's
 	// numbers carry the testbed's phase artifacts, so the acceptance band
 	// is one blinking-light period (automotive) / a few rounds (aerospace).
-	autoRows, err := tuning.TimeToIncorrectIsolation(fault.BlinkingLight(), auto, 1, p.Seed, false)
+	autoRows, err := tuning.TimeToIncorrectIsolation(fault.BlinkingLight(), auto, 1, p.Workers, p.Seed, false)
 	if err != nil {
 		return err
 	}
-	aeroRows, err := tuning.TimeToIncorrectIsolation(fault.LightningBolt(), aero, 1, p.Seed, false)
+	aeroRows, err := tuning.TimeToIncorrectIsolation(fault.LightningBolt(), aero, 1, p.Workers, p.Seed, false)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"ttdiag/internal/campaign"
 	"ttdiag/internal/core"
 	"ttdiag/internal/fault"
 	"ttdiag/internal/rng"
@@ -68,25 +69,46 @@ func renderCampaign(p Params, rows []CampaignRow) error {
 // (the add-on deployment with detection latency k-3).
 var prototypeLs = []int{2, 0, 3, 1}
 
+// runVerdict is the outcome of one campaign repetition: pass, or the audit
+// failure text. Campaign run functions return it so that aggregation into a
+// CampaignRow happens after the worker join, in run-index order.
+type runVerdict struct {
+	pass    bool
+	failure string
+}
+
+// foldRow aggregates per-run verdicts (indexed by run) into one campaign
+// row; FirstFailure is the failure of the lowest-indexed failing run, so it
+// is identical at every worker count.
+func foldRow(class string, verdicts []runVerdict) CampaignRow {
+	row := CampaignRow{Class: class, Runs: len(verdicts)}
+	for _, v := range verdicts {
+		if v.pass {
+			row.Passed++
+		} else if row.FirstFailure == "" {
+			row.FirstFailure = v.failure
+		}
+	}
+	return row
+}
+
 // BurstCampaign runs the twelve burst experiment classes: bursts of one
 // slot, two slots and two whole TDMA rounds, starting at each of the four
 // sending slots. Every repetition shifts the injection round, and every run
 // is audited for Theorem 1's correctness, completeness and consistency.
 func BurstCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
-	stream := rng.NewSource(p.Seed).Stream("sec8-bursts")
+	src := rng.NewSource(p.Seed)
 	var rows []CampaignRow
 	for _, slots := range []int{1, 2, 8} {
 		for startSlot := 1; startSlot <= 4; startSlot++ {
-			row := CampaignRow{
-				Class: fmt.Sprintf("burst %d slot(s) from slot %d", slots, startSlot),
-				Runs:  p.Runs,
-			}
-			for run := 0; run < p.Runs; run++ {
+			slots, startSlot := slots, startSlot
+			verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
+				stream := src.Stream(fmt.Sprintf("sec8-bursts/%d-from-%d/run-%d", slots, startSlot, run))
 				injectRound := 5 + stream.Intn(6)
 				eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{Ls: prototypeLs})
 				if err != nil {
-					return nil, err
+					return runVerdict{}, err
 				}
 				col := sim.NewCollector()
 				for id := 1; id <= 4; id++ {
@@ -95,17 +117,18 @@ func BurstCampaign(p Params) ([]CampaignRow, error) {
 				eng.Bus().AddDisturbance(fault.NewTrain(
 					fault.SlotBurst(eng.Schedule(), injectRound, startSlot, slots)))
 				if err := eng.RunRounds(injectRound + 10); err != nil {
-					return nil, err
+					return runVerdict{}, err
 				}
 				if err := sim.AuditTheorem1(eng, col, []int{1, 2, 3, 4}, 4, injectRound+6); err != nil {
-					if row.FirstFailure == "" {
-						row.FirstFailure = err.Error()
-					}
-					continue
+					return runVerdict{failure: err.Error()}, nil
 				}
-				row.Passed++
+				return runVerdict{pass: true}, nil
+			})
+			if err != nil {
+				return nil, err
 			}
-			rows = append(rows, row)
+			rows = append(rows, foldRow(
+				fmt.Sprintf("burst %d slot(s) from slot %d", slots, startSlot), verdicts))
 		}
 	}
 	return rows, nil
@@ -124,9 +147,9 @@ func runSec8Bursts(p Params) error {
 // reward counter must advance every round, identically at every node.
 func PRCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
-	stream := rng.NewSource(p.Seed).Stream("sec8-pr")
-	row := CampaignRow{Class: "fault every 2nd round for 20 rounds", Runs: p.Runs}
-	for run := 0; run < p.Runs; run++ {
+	src := rng.NewSource(p.Seed)
+	verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
+		stream := src.Stream(fmt.Sprintf("sec8-pr/run-%d", run))
 		startRound := 6 + stream.Intn(4)
 		target := 1 + stream.Intn(4)
 		eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{
@@ -134,7 +157,7 @@ func PRCampaign(p Params) ([]CampaignRow, error) {
 			PR: core.PRConfig{PenaltyThreshold: 1 << 30, RewardThreshold: 100},
 		})
 		if err != nil {
-			return nil, err
+			return runVerdict{}, err
 		}
 		var bursts []fault.Burst
 		for r := startRound; r < startRound+20; r += 2 {
@@ -142,23 +165,23 @@ func PRCampaign(p Params) ([]CampaignRow, error) {
 		}
 		eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
 		if err := eng.RunRounds(startRound + 30); err != nil {
-			return nil, err
+			return runVerdict{}, err
 		}
-		ok := true
+		v := runVerdict{pass: true}
 		for id := 1; id <= 4; id++ {
 			pr := runners[id].Protocol().PenaltyReward()
 			if pr.Penalty(target) != 10 {
-				if row.FirstFailure == "" {
-					row.FirstFailure = fmt.Sprintf("node %d: penalty %d, want 10", id, pr.Penalty(target))
+				if v.pass {
+					v = runVerdict{failure: fmt.Sprintf("node %d: penalty %d, want 10", id, pr.Penalty(target))}
 				}
-				ok = false
 			}
 		}
-		if ok {
-			row.Passed++
-		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return []CampaignRow{row}, nil
+	return []CampaignRow{foldRow("fault every 2nd round for 20 rounds", verdicts)}, nil
 }
 
 func runSec8PR(p Params) error {
@@ -177,11 +200,11 @@ func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 	src := rng.NewSource(p.Seed)
 	var rows []CampaignRow
 	for mal := 1; mal <= 4; mal++ {
-		row := CampaignRow{Class: fmt.Sprintf("malicious node %d", mal), Runs: p.Runs}
-		for run := 0; run < p.Runs; run++ {
+		mal := mal
+		verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
 			eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{Ls: prototypeLs})
 			if err != nil {
-				return nil, err
+				return runVerdict{}, err
 			}
 			col := sim.NewCollector()
 			for id := 1; id <= 4; id++ {
@@ -190,7 +213,7 @@ func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 			eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
 				tdma.NodeID(mal), src.Stream(fmt.Sprintf("mal-%d-%d", mal, run))))
 			if err := eng.RunRounds(24); err != nil {
-				return nil, err
+				return runVerdict{}, err
 			}
 			var obedient []int
 			for id := 1; id <= 4; id++ {
@@ -207,14 +230,14 @@ func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 				}
 			}
 			if err != nil {
-				if row.FirstFailure == "" {
-					row.FirstFailure = err.Error()
-				}
-				continue
+				return runVerdict{failure: err.Error()}, nil
 			}
-			row.Passed++
+			return runVerdict{pass: true}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, row)
+		rows = append(rows, foldRow(fmt.Sprintf("malicious node %d", mal), verdicts))
 	}
 	return rows, nil
 }
@@ -234,49 +257,42 @@ func runSec8Malicious(p Params) error {
 // executions.
 func CliqueCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
-	stream := rng.NewSource(p.Seed).Stream("sec8-clique")
-	row := CampaignRow{Class: "minority clique {1} via asymmetric receive fault", Runs: p.Runs}
-	for run := 0; run < p.Runs; run++ {
+	src := rng.NewSource(p.Seed)
+	verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
+		stream := src.Stream(fmt.Sprintf("sec8-clique/run-%d", run))
 		faultRound := 6 + stream.Intn(6)
 		missedSender := tdma.NodeID(2 + stream.Intn(3))
 		eng, runners, err := sim.NewMembershipCluster(sim.ClusterConfig{Ls: prototypeLs})
 		if err != nil {
-			return nil, err
+			return runVerdict{}, err
 		}
 		eng.Bus().AddDisturbance(fault.ReceiverBlind{
 			Receiver: 1, Senders: []tdma.NodeID{missedSender},
 			FromRound: faultRound, ToRound: faultRound + 1,
 		})
 		if err := eng.RunRounds(faultRound + 14); err != nil {
-			return nil, err
+			return runVerdict{}, err
 		}
 		lag := runners[1].Service().Protocol().Config().Lag()
-		failure := ""
 		ref := runners[1].View()
 		for id := 1; id <= 4; id++ {
 			v := runners[id].View()
 			if fmt.Sprint(v.Members) != "[2 3 4]" {
-				failure = fmt.Sprintf("node %d view %v", id, v.Members)
-				break
+				return runVerdict{failure: fmt.Sprintf("node %d view %v", id, v.Members)}, nil
 			}
 			if v.FormedAtRound != ref.FormedAtRound || v.ID != ref.ID {
-				failure = fmt.Sprintf("node %d view disagrees with node 1", id)
-				break
+				return runVerdict{failure: fmt.Sprintf("node %d view disagrees with node 1", id)}, nil
 			}
 			if v.FormedAtRound > faultRound+2*(lag+1) {
-				failure = fmt.Sprintf("view formed at %d, fault at %d (liveness)", v.FormedAtRound, faultRound)
-				break
+				return runVerdict{failure: fmt.Sprintf("view formed at %d, fault at %d (liveness)", v.FormedAtRound, faultRound)}, nil
 			}
 		}
-		if failure != "" {
-			if row.FirstFailure == "" {
-				row.FirstFailure = failure
-			}
-			continue
-		}
-		row.Passed++
+		return runVerdict{pass: true}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return []CampaignRow{row}, nil
+	return []CampaignRow{foldRow("minority clique {1} via asymmetric receive fault", verdicts)}, nil
 }
 
 func runSec8Clique(p Params) error {

@@ -31,6 +31,7 @@ var deterministicPkgs = []string{
 	"internal/core",
 	"internal/sim",
 	"internal/cluster",
+	"internal/campaign",
 	"internal/tdma",
 	"internal/fault",
 	"internal/lowlat",
@@ -42,9 +43,9 @@ var deterministicPkgs = []string{
 // order would leak into rendered artefacts and transcripts.
 var orderSensitivePkgs = append([]string{"internal/trace"}, deterministicPkgs...)
 
-// channelPkgs hosts the goroutine-per-node runtime, whose shutdown
-// discipline the channel rule enforces.
-var channelPkgs = []string{"internal/cluster"}
+// channelPkgs hosts the goroutine-per-node runtime and the campaign worker
+// pool, whose shutdown discipline the channel rule enforces.
+var channelPkgs = []string{"internal/cluster", "internal/campaign"}
 
 // randExemptPkgs may touch math/rand directly: internal/rng is the sanctioned
 // seeded-stream wrapper everything else must go through.

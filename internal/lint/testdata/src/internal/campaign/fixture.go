@@ -1,0 +1,19 @@
+// Package campaign is a lint fixture for the worker-pool package: a bare
+// dispatch send (the exact bug the channel-discipline rule exists to catch
+// in a cancellable pool) next to the compliant select form. It is never
+// built by the real module (testdata).
+package campaign
+
+// Dispatch hands a run index to the pool outside a select — with every
+// worker gone after an error, this send blocks forever.
+func Dispatch(jobs chan int, run int) {
+	jobs <- run
+}
+
+// DispatchCancellable is the compliant form: the send races a quit case.
+func DispatchCancellable(jobs chan int, quit chan struct{}, run int) {
+	select {
+	case jobs <- run:
+	case <-quit:
+	}
+}

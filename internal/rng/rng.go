@@ -10,6 +10,7 @@
 package rng
 
 import (
+	"encoding/binary"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -103,9 +104,20 @@ func (st *Stream) Poisson(mean float64) int {
 	}
 }
 
-// Bytes fills b with random bytes.
+// Bytes fills b with random bytes, consuming one Uint64 draw per eight bytes
+// (little-endian) instead of one draw per byte. Note this makes the filled
+// bytes — and the stream position afterwards — differ from the historical
+// one-Intn-per-byte implementation, so seeded sequences that mix Bytes with
+// other draws (e.g. malicious-syndrome payloads) changed once, at the switch.
 func (st *Stream) Bytes(b []byte) {
-	for i := range b {
-		b[i] = byte(st.r.Intn(256))
+	for len(b) >= 8 {
+		binary.LittleEndian.PutUint64(b, st.r.Uint64())
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		v := st.r.Uint64()
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
 	}
 }

@@ -153,6 +153,43 @@ func TestBytesFills(t *testing.T) {
 	}
 }
 
+// TestBytesDrawBudget pins the draw economy of Bytes: one Uint64 per eight
+// bytes (rounded up), verified by comparing the stream position afterwards
+// against a twin stream advanced by explicit Uint64 draws.
+func TestBytesDrawBudget(t *testing.T) {
+	for _, size := range []int{0, 1, 7, 8, 9, 16, 37} {
+		st := NewStream(99)
+		st.Bytes(make([]byte, size))
+		twin := NewStream(99)
+		for i := 0; i < (size+7)/8; i++ {
+			twin.Uint64()
+		}
+		if got, want := st.Uint64(), twin.Uint64(); got != want {
+			t.Fatalf("Bytes(%d bytes): stream advanced to %d, want %d (one draw per 8 bytes)", size, got, want)
+		}
+	}
+}
+
+// TestBytesMatchesUint64 pins the byte layout: little-endian packing of the
+// underlying Uint64 draws, including the short tail.
+func TestBytesMatchesUint64(t *testing.T) {
+	st := NewStream(7)
+	b := make([]byte, 11)
+	st.Bytes(b)
+	twin := NewStream(7)
+	v1, v2 := twin.Uint64(), twin.Uint64()
+	for i := 0; i < 8; i++ {
+		if b[i] != byte(v1>>(8*i)) {
+			t.Fatalf("byte %d = %#x, want %#x", i, b[i], byte(v1>>(8*i)))
+		}
+	}
+	for i := 8; i < 11; i++ {
+		if b[i] != byte(v2>>(8*(i-8))) {
+			t.Fatalf("tail byte %d = %#x, want %#x", i, b[i], byte(v2>>(8*(i-8))))
+		}
+	}
+}
+
 func TestInt63nRange(t *testing.T) {
 	st := NewStream(15)
 	for i := 0; i < 1000; i++ {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ttdiag/internal/baseline"
+	"ttdiag/internal/campaign"
 	"ttdiag/internal/core"
 	"ttdiag/internal/fault"
 	"ttdiag/internal/rng"
@@ -52,13 +53,17 @@ func (c *ClassIsolation) finalise() {
 // order of the tuning result. When randomPhase is set, each run shifts the
 // scenario by a random offset within one round (the physical injector's
 // phase uncertainty); otherwise the bursts are aligned to round starts.
-func TimeToIncorrectIsolation(scen fault.Scenario, res Result, runs int, seed int64, randomPhase bool) ([]ClassIsolation, error) {
+//
+// The repetitions fan out over a campaign worker pool (workers <= 0 selects
+// GOMAXPROCS, 1 is serial); each run draws its phase from its own named
+// stream, so the aggregate is identical at any worker count.
+func TimeToIncorrectIsolation(scen fault.Scenario, res Result, runs, workers int, seed int64, randomPhase bool) ([]ClassIsolation, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("tuning: need at least 1 run, got %d", runs)
 	}
 	const n = 4
 	prCfg := res.PRConfig(n)
-	stream := rng.NewSource(seed).Stream("adverse-phase")
+	src := rng.NewSource(seed)
 
 	out := make([]ClassIsolation, len(res.PerClass))
 	for i, ct := range res.PerClass {
@@ -67,10 +72,14 @@ func TimeToIncorrectIsolation(scen fault.Scenario, res Result, runs int, seed in
 
 	horizon := scen.Span() + time.Second
 	maxRounds := int(horizon/res.RoundLen) + 8
+	classNodes := len(res.PerClass)
 
-	for run := 0; run < runs; run++ {
+	// One result per run: the isolation time of each class's node, or -1
+	// when it stayed in service for the whole horizon.
+	times, err := campaign.Run(workers, runs, func(run int) ([]time.Duration, error) {
 		phase := time.Duration(0)
 		if randomPhase {
+			stream := src.Stream(fmt.Sprintf("adverse-phase/run-%d", run))
 			phase = time.Duration(stream.Int63n(int64(res.RoundLen)))
 		}
 		eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{
@@ -85,7 +94,6 @@ func TimeToIncorrectIsolation(scen fault.Scenario, res Result, runs int, seed in
 		}
 		eng.Bus().AddDisturbance(scen.Train(phase))
 
-		classNodes := len(res.PerClass)
 		for r := 0; r < maxRounds; r++ {
 			if err := eng.RunRound(); err != nil {
 				return nil, err
@@ -101,8 +109,20 @@ func TimeToIncorrectIsolation(scen fault.Scenario, res Result, runs int, seed in
 				break
 			}
 		}
-		for i := range out {
-			if t := col.FirstIsolationTime(i+1, eng.Schedule()); t >= 0 {
+		ts := make([]time.Duration, classNodes)
+		for i := range ts {
+			ts[i] = col.FirstIsolationTime(i+1, eng.Schedule())
+		}
+		return ts, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Fold in run-index order so Times — and every order statistic over
+	// them — matches the serial execution exactly.
+	for _, ts := range times {
+		for i, t := range ts {
+			if t >= 0 {
 				out[i].record(t)
 			}
 		}

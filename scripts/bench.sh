@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# bench.sh runs the campaign engine and protocol hot-path benchmarks and
+# records every sample in BENCH_campaign.json, so the bench trajectory of the
+# repository can be tracked across commits. Usage:
+#
+#   scripts/bench.sh                 # 5 samples per benchmark (default)
+#   COUNT=1 scripts/bench.sh         # quick single-sample run
+#   OUT=/tmp/b.json scripts/bench.sh # write the JSON elsewhere
+#
+# See docs/PERFORMANCE.md for the reference numbers and how to read them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+OUT="${OUT:-BENCH_campaign.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+    -bench 'BenchmarkSec8BurstCampaign|BenchmarkProtocolStep|BenchmarkEngineRound' \
+    -benchmem -count="$COUNT" . | tee "$raw"
+
+# Fold the benchmark lines into a JSON sample list (no external tools: the
+# container only guarantees the go toolchain and a POSIX userland).
+awk '
+BEGIN { print "["; sep = "" }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i - 1)
+        else if ($i == "B/op") bytes = $(i - 1)
+        else if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", \
+        sep, name, iters, ns, bytes, allocs
+    sep = ",\n"
+}
+END { print "\n]" }
+' "$raw" > "$OUT"
+
+echo "wrote $OUT"

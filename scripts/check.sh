@@ -25,7 +25,10 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/cluster/... ./internal/sim/...
+go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/...
+
+echo "== go test -race -cpu=1,4 (campaign determinism) =="
+go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
 
 echo "== go test -tags ttdiag_invariants =="
 go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...
