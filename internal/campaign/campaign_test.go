@@ -3,6 +3,7 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -137,15 +138,24 @@ func TestEdgeCases(t *testing.T) {
 	}
 }
 
-// TestWorkersResolution pins the GOMAXPROCS defaulting.
+// TestWorkersResolution pins the GOMAXPROCS defaulting and clamping.
 func TestWorkersResolution(t *testing.T) {
-	if got := Workers(3); got != 3 {
-		t.Fatalf("Workers(3) = %d", got)
+	max := runtime.GOMAXPROCS(0)
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
 	}
-	if got := Workers(0); got < 1 {
-		t.Fatalf("Workers(0) = %d, want >= 1", got)
+	if max >= 3 {
+		if got := Workers(3); got != 3 {
+			t.Fatalf("Workers(3) = %d", got)
+		}
 	}
-	if got := Workers(-2); got < 1 {
-		t.Fatalf("Workers(-2) = %d, want >= 1", got)
+	if got := Workers(max + 2); got != max {
+		t.Fatalf("Workers(%d) = %d, want clamp to GOMAXPROCS=%d", max+2, got, max)
+	}
+	if got := Workers(0); got != max {
+		t.Fatalf("Workers(0) = %d, want %d", got, max)
+	}
+	if got := Workers(-2); got != max {
+		t.Fatalf("Workers(-2) = %d, want %d", got, max)
 	}
 }

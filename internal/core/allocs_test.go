@@ -1,0 +1,54 @@
+// Allocation-ceiling regression tests for the protocol hot path. The race
+// detector instruments allocations and testing.AllocsPerRun becomes
+// meaningless under it, so this file is excluded from -race builds.
+
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"ttdiag/internal/invariant"
+)
+
+// TestProtocolStepAllocs pins the steady-state allocation budget of one
+// protocol execution: the retained per-round block (matrix cells, consistent
+// health vector and dissemination syndrome share one backing array) plus the
+// matrix row-header slice — everything else is reused across rounds.
+func TestProtocolStepAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
+	}
+	const n = 4
+	p, err := NewProtocol(Config{
+		N: n, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 1 << 50, RewardThreshold: 1 << 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dms := make([]Syndrome, n+1)
+	for j := 1; j <= n; j++ {
+		dms[j] = NewSyndrome(n, Healthy)
+	}
+	validity := NewSyndrome(n, Healthy)
+	collision := func(int) Opinion { return Healthy }
+	round := 0
+	step := func() {
+		in := RoundInput{Round: round, DMs: dms, Validity: validity, Collision: collision}
+		if _, err := p.Step(in); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	}
+	// Warm past the diagnosis lag so every measured Step emits a full round
+	// output.
+	for i := 0; i < 16; i++ {
+		step()
+	}
+	const ceiling = 2
+	if avg := testing.AllocsPerRun(200, step); avg > ceiling {
+		t.Fatalf("Step allocates %.2f objects/round in steady state, ceiling %d", avg, ceiling)
+	}
+}

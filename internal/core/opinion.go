@@ -115,14 +115,23 @@ func EncodedLen(n int) int { return (n + 7) / 8 }
 // (LSB-first within each byte), Healthy = 1. Erased entries never occur in a
 // locally formed syndrome; they encode as 0 (faulty) defensively.
 func (s Syndrome) Encode() []byte {
-	n := s.N()
-	out := make([]byte, EncodedLen(n))
-	for j := 1; j <= n; j++ {
+	out := make([]byte, EncodedLen(s.N()))
+	s.EncodeInto(out)
+	return out
+}
+
+// EncodeInto packs the syndrome into dst, the allocation-free form of Encode
+// for hot paths that own a reusable destination. dst must be EncodedLen(N())
+// bytes and is fully overwritten.
+func (s Syndrome) EncodeInto(dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j := 1; j <= s.N(); j++ {
 		if s[j] == Healthy {
-			out[(j-1)/8] |= 1 << uint((j-1)%8)
+			dst[(j-1)/8] |= 1 << uint((j-1)%8)
 		}
 	}
-	return out
 }
 
 // DecodeSyndrome unpacks a wire-format syndrome for n nodes. It returns an
@@ -130,14 +139,29 @@ func (s Syndrome) Encode() []byte {
 // locally detectable (syntactically incorrect) and must be treated as ε by
 // the caller.
 func DecodeSyndrome(data []byte, n int) (Syndrome, error) {
-	if len(data) != EncodedLen(n) {
-		return nil, fmt.Errorf("core: syndrome payload is %d bytes, want %d for %d nodes", len(data), EncodedLen(n), n)
-	}
 	s := NewSyndrome(n, Faulty)
-	for j := 1; j <= n; j++ {
-		if data[(j-1)/8]&(1<<uint((j-1)%8)) != 0 {
-			s[j] = Healthy
-		}
+	if err := DecodeSyndromeInto(s, data); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// DecodeSyndromeInto unpacks a wire-format syndrome into dst, which must
+// already be sized for the system (dst.N() nodes). It is the allocation-free
+// form of DecodeSyndrome for hot paths that own a reusable destination; dst
+// is fully overwritten on success and left unspecified on error.
+func DecodeSyndromeInto(dst Syndrome, data []byte) error {
+	n := dst.N()
+	if len(data) != EncodedLen(n) {
+		return fmt.Errorf("core: syndrome payload is %d bytes, want %d for %d nodes", len(data), EncodedLen(n), n)
+	}
+	dst[0] = Erased
+	for j := 1; j <= n; j++ {
+		if data[(j-1)/8]&(1<<uint((j-1)%8)) != 0 {
+			dst[j] = Healthy
+		} else {
+			dst[j] = Faulty
+		}
+	}
+	return nil
 }

@@ -91,6 +91,28 @@ func NewPenaltyReward(n int, cfg PRConfig) (*PenaltyReward, error) {
 	return pr, nil
 }
 
+// Reset zeroes all counters and returns every node to active, restoring the
+// freshly constructed state while keeping the allocated counter slices.
+func (pr *PenaltyReward) Reset() {
+	for j := 1; j <= pr.n; j++ {
+		pr.penalties[j] = 0
+		pr.rewards[j] = 0
+		pr.observe[j] = 0
+		pr.active[j] = true
+	}
+}
+
+// ResetConfig swaps in a new tuning configuration and resets all counters.
+// The node count is fixed at construction time.
+func (pr *PenaltyReward) ResetConfig(cfg PRConfig) error {
+	if err := cfg.Validate(pr.n); err != nil {
+		return err
+	}
+	pr.cfg = cfg
+	pr.Reset()
+	return nil
+}
+
 // Update applies one consistent health vector (Alg. 2) and folds the result
 // into the activity vector (Alg. 1 line 15: active ← active AND curr_act).
 // It returns the nodes that transitioned in this round: isolated lists nodes

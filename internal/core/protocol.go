@@ -139,7 +139,9 @@ type RoundOutput struct {
 	// Round echoes the executed round.
 	Round int
 	// Send is the encoded local syndrome to write into the node's interface
-	// variable (the dissemination payload, N bits).
+	// variable (the dissemination payload, N bits). It is backed by a ring
+	// buffer: valid for the next three Steps, then overwritten — copy it to
+	// keep it longer (SendSyndrome is the retain-safe decoded form).
 	Send []byte
 	// SendSyndrome is the decoded form of Send.
 	SendSyndrome Syndrome
@@ -157,7 +159,8 @@ type RoundOutput struct {
 	// Reintegrated lists nodes returned to service by the optional
 	// reintegration extension.
 	Reintegrated []int
-	// Active is the activity vector after the update (1-based).
+	// Active is the activity vector after the update (1-based). Like Send it
+	// is ring-buffered: valid for the next three Steps, then overwritten.
 	Active []bool
 	// Accused lists the minority accusations raised in this round
 	// (membership mode only).
@@ -200,9 +203,13 @@ func newAlignBuf(n int) alignBuf {
 // per node with NewProtocol and call Step exactly once per TDMA round.
 //
 // Buffer ownership: Step copies its inputs into protocol-owned scratch
-// (callers may reuse RoundInput slices immediately), and everything placed
-// in RoundOutput is backed by memory allocated for that round alone — the
-// output is safe to retain indefinitely; no later Step mutates it.
+// (callers may reuse RoundInput slices immediately). The analysis results in
+// RoundOutput — ConsHV, Matrix, SendSyndrome — are backed by memory
+// allocated for that round alone and safe to retain indefinitely; no later
+// Step mutates them. Send and Active live in a small ring of reusable
+// buffers: they stay valid for the next three Steps and are then
+// overwritten, so callers that keep them longer must copy (every in-tree
+// consumer either copies immediately or reads only the latest output).
 type Protocol struct {
 	cfg   Config
 	pr    *PenaltyReward
@@ -220,6 +227,11 @@ type Protocol struct {
 	// node's own row of the diagnostic matrix.
 	lastSent Syndrome
 	prevSent Syndrome
+	// sendBufs and activeBufs are the rings backing RoundOutput.Send and
+	// RoundOutput.Active: round k writes slot k%4, so an output's buffers
+	// survive the next three Steps before being reused.
+	sendBufs   [4][]byte
+	activeBufs [4][]bool
 	// accuse holds the remaining dissemination writes each pending minority
 	// accusation is carried for (membership mode).
 	accuse []int
@@ -253,10 +265,68 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 		accuse:     make([]int, cfg.N+1),
 		accusedAge: make([]int, cfg.N+1),
 	}
+	for i := range p.sendBufs {
+		p.sendBufs[i] = make([]byte, EncodedLen(cfg.N))
+		p.activeBufs[i] = make([]bool, cfg.N+1)
+	}
 	for j := range p.accusedAge {
 		p.accusedAge[j] = accusationSkew + 1
 	}
 	return p, nil
+}
+
+// Reset returns the protocol to its freshly constructed state (round
+// StartRound, warm-up pending, all counters cleared) while keeping its
+// allocated buffers, so one instance can be reused across campaign
+// repetitions. Previously returned RoundOutputs keep their documented
+// retention guarantees: ConsHV/Matrix/SendSyndrome stay valid, Send and
+// Active follow the usual ring-buffer window.
+func (p *Protocol) Reset() {
+	n := p.cfg.N
+	for b := range p.bufs {
+		buf := &p.bufs[b]
+		for j := 1; j <= n; j++ {
+			buf.set[j] = true
+			for m := 1; m <= n; m++ {
+				buf.dm[j][m] = Healthy
+			}
+			buf.ls[j] = Healthy
+			buf.al[j] = Healthy
+		}
+	}
+	// lastSent/prevSent alias retain-safe per-round blocks of the previous
+	// run; fresh syndromes keep those blocks immutable.
+	p.lastSent = NewSyndrome(n, Healthy)
+	p.prevSent = NewSyndrome(n, Healthy)
+	for j := range p.accuse {
+		p.accuse[j] = 0
+		p.accusedAge[j] = accusationSkew + 1
+	}
+	p.invPrevActive = nil
+	p.steps = 0
+	p.pr.Reset()
+}
+
+// ResetConfig is Reset with a configuration swap: it revalidates cfg and
+// restarts the protocol under it. The node count is fixed at construction
+// time (the internal buffers are sized for it); changing N requires a new
+// instance.
+func (p *Protocol) ResetConfig(cfg Config) error {
+	if cfg.Mode == 0 {
+		cfg.Mode = ModeDiagnostic
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.N != p.cfg.N {
+		return fmt.Errorf("core: node %d: ResetConfig cannot change N from %d to %d", p.cfg.ID, p.cfg.N, cfg.N)
+	}
+	if err := p.pr.ResetConfig(cfg.PR); err != nil {
+		return err
+	}
+	p.cfg = cfg
+	p.Reset()
+	return nil
 }
 
 // Config returns the protocol's configuration.
@@ -287,10 +357,11 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	rd := &p.bufs[p.steps&1]
 	wr := &p.bufs[(p.steps+1)&1]
 
-	// The round's entire retainable output — matrix cells, consistent health
-	// vector and outgoing syndrome — lives in one block, so the steady-state
-	// warm path costs a fixed four allocations per Step regardless of N
-	// (block, Matrix header, encoded payload, activity copy).
+	// The round's entire indefinitely-retainable output — matrix cells,
+	// consistent health vector and outgoing syndrome — lives in one block,
+	// so the steady-state warm path costs a fixed two allocations per Step
+	// regardless of N (the block and the Matrix header; Send and Active come
+	// from the protocol's buffer rings).
 	w := n + 1
 	block := make(Syndrome, w*w+2*w)
 	cells := block[0 : w*w : w*w]
@@ -406,7 +477,9 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 			}
 		}
 	}
-	out.Send = outSyn.Encode()
+	send := p.sendBufs[p.steps&3]
+	outSyn.EncodeInto(send)
+	out.Send = send
 	out.SendSyndrome = outSyn
 
 	// Phase 5 — update counters (Alg. 1 line 15, Alg. 2).
@@ -418,7 +491,9 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 		out.Isolated = iso
 		out.Reintegrated = reint
 	}
-	out.Active = p.pr.Active()
+	active := p.activeBufs[p.steps&3]
+	copy(active, p.pr.active)
+	out.Active = active
 
 	// Buffering for the next round (Alg. 1 lines 16-17): copy this round's
 	// raw observations into the buffer the next Step will read. wr.al

@@ -138,61 +138,70 @@ func runScaleResilience(p Params) error {
 // streams (schedule draw and malicious payloads) from the master source, the
 // fault mix and its run index, so the count is worker-count independent.
 func resilienceRuns(n, a, s, b, runs, workers int, src *rng.Source) (int, error) {
-	failed, err := campaign.Run(workers, runs, func(run int) (bool, error) {
-		scope := fmt.Sprintf("scale/N%d-a%d-s%d-b%d/run-%d", n, a, s, b, run)
-		stream := src.Stream(scope)
-		ls := make([]int, n)
-		for i := range ls {
-			ls[i] = stream.Intn(n)
-		}
-		eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{
-			N: n, RoundLen: sim.DefaultRoundLen * time.Duration(n) / 4, Ls: ls,
-		})
-		if err != nil {
-			return false, err
-		}
-		col := sim.NewCollector()
-		for id := 1; id <= n; id++ {
-			col.HookDiag(id, runners[id])
-		}
-		// Assign fault roles to distinct nodes: 1..s malicious, then b
-		// benign (corrupted slots in one round), then a asymmetric. Each
-		// malicious node gets its own payload stream: the engine consumes
-		// them lazily during the run, so they must not share draws with
-		// anything else.
-		var obedient []int
-		node := 1
-		for i := 0; i < s; i++ {
-			eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
-				tdma.NodeID(node), src.Stream(fmt.Sprintf("%s/mal-%d", scope, node))))
-			node++
-		}
-		const faultRound = 8
-		var bursts []fault.Burst
-		for i := 0; i < b; i++ {
-			bursts = append(bursts, fault.SlotBurst(eng.Schedule(), faultRound, node, 1))
-			node++
-		}
-		if len(bursts) > 0 {
-			eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
-		}
-		for i := 0; i < a; i++ {
-			eng.Bus().AddDisturbance(fault.SOS{
-				Sender: tdma.NodeID(node), Victims: []tdma.NodeID{tdma.NodeID((node % n) + 1)},
-				FromRound: faultRound, ToRound: faultRound + 1,
-			})
-			node++
-		}
-		for id := 1; id <= n; id++ {
-			if id > s {
-				obedient = append(obedient, id)
+	failed, err := campaign.RunPooled(workers, runs,
+		newDiagWorker(src, sim.ClusterConfig{
+			N: n, RoundLen: sim.DefaultRoundLen * time.Duration(n) / 4,
+		}),
+		func(w *diagWorker, run int) (bool, error) {
+			cl := w.cl
+			// ResetLs below performs the full cluster reset for this run, so
+			// only the stream pool needs recycling here. Reseeding pooled
+			// streams before the reset is safe: the previous run's
+			// disturbances are never delivered again once ResetLs drops them.
+			w.rng.Recycle()
+			scope := fmt.Sprintf("scale/N%d-a%d-s%d-b%d/run-%d", n, a, s, b, run)
+			stream := w.rng.Stream(scope)
+			ls := make([]int, n)
+			for i := range ls {
+				ls[i] = stream.Intn(n)
 			}
-		}
-		if err := eng.RunRounds(faultRound + 10); err != nil {
-			return false, err
-		}
-		return sim.AuditTheorem1(eng, col, obedient, 4, faultRound+6) != nil, nil
-	})
+			if err := cl.ResetLs(ls); err != nil {
+				return false, err
+			}
+			eng, runners := cl.Eng, cl.Runners
+			w.col.Reset()
+			col := w.col
+			for id := 1; id <= n; id++ {
+				col.HookDiag(id, runners[id])
+			}
+			// Assign fault roles to distinct nodes: 1..s malicious, then b
+			// benign (corrupted slots in one round), then a asymmetric. Each
+			// malicious node gets its own payload stream: the engine consumes
+			// them lazily during the run, so they must not share draws with
+			// anything else.
+			var obedient []int
+			node := 1
+			for i := 0; i < s; i++ {
+				eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
+					tdma.NodeID(node), w.rng.Stream(fmt.Sprintf("%s/mal-%d", scope, node))))
+				node++
+			}
+			const faultRound = 8
+			var bursts []fault.Burst
+			for i := 0; i < b; i++ {
+				bursts = append(bursts, fault.SlotBurst(eng.Schedule(), faultRound, node, 1))
+				node++
+			}
+			if len(bursts) > 0 {
+				eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
+			}
+			for i := 0; i < a; i++ {
+				eng.Bus().AddDisturbance(fault.SOS{
+					Sender: tdma.NodeID(node), Victims: []tdma.NodeID{tdma.NodeID((node % n) + 1)},
+					FromRound: faultRound, ToRound: faultRound + 1,
+				})
+				node++
+			}
+			for id := 1; id <= n; id++ {
+				if id > s {
+					obedient = append(obedient, id)
+				}
+			}
+			if err := eng.RunRounds(faultRound + 10); err != nil {
+				return false, err
+			}
+			return sim.AuditTheorem1(eng, col, obedient, 4, faultRound+6) != nil, nil
+		})
 	if err != nil {
 		return 0, err
 	}

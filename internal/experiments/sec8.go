@@ -69,6 +69,59 @@ func renderCampaign(p Params, rows []CampaignRow) error {
 // (the add-on deployment with detection latency k-3).
 var prototypeLs = []int{2, 0, 3, 1}
 
+// diagWorker is the reusable per-worker state of a pooled diagnostic
+// campaign: one cluster, one stream pool and one collector, reset/recycled
+// per repetition.
+type diagWorker struct {
+	cl  *sim.DiagCluster
+	rng *rng.Pool
+	col *sim.Collector
+}
+
+func newDiagWorker(src *rng.Source, cfg sim.ClusterConfig) func() (*diagWorker, error) {
+	return func() (*diagWorker, error) {
+		cl, err := sim.NewReusableDiagnosticCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &diagWorker{cl: cl, rng: src.NewPool(), col: sim.NewCollector()}, nil
+	}
+}
+
+// reset readies the worker for the next repetition. Recycling the streams is
+// safe here because the cluster reset has already dropped the disturbances
+// that could still hold one.
+func (w *diagWorker) reset() (*sim.Engine, []*sim.DiagRunner) {
+	w.cl.Reset()
+	w.rng.Recycle()
+	w.col.Reset()
+	return w.cl.Eng, w.cl.Runners
+}
+
+// memWorker is the membership counterpart of diagWorker.
+type memWorker struct {
+	cl  *sim.MembershipCluster
+	rng *rng.Pool
+	col *sim.Collector
+}
+
+func newMemWorker(src *rng.Source, cfg sim.ClusterConfig) func() (*memWorker, error) {
+	return func() (*memWorker, error) {
+		cl, err := sim.NewReusableMembershipCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &memWorker{cl: cl, rng: src.NewPool(), col: sim.NewCollector()}, nil
+	}
+}
+
+func (w *memWorker) reset() (*sim.Engine, []*sim.MembershipRunner) {
+	w.cl.Reset()
+	w.rng.Recycle()
+	w.col.Reset()
+	return w.cl.Eng, w.cl.Runners
+}
+
 // runVerdict is the outcome of one campaign repetition: pass, or the audit
 // failure text. Campaign run functions return it so that aggregation into a
 // CampaignRow happens after the worker join, in run-index order.
@@ -103,27 +156,26 @@ func BurstCampaign(p Params) ([]CampaignRow, error) {
 	for _, slots := range []int{1, 2, 8} {
 		for startSlot := 1; startSlot <= 4; startSlot++ {
 			slots, startSlot := slots, startSlot
-			verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
-				stream := src.Stream(fmt.Sprintf("sec8-bursts/%d-from-%d/run-%d", slots, startSlot, run))
-				injectRound := 5 + stream.Intn(6)
-				eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{Ls: prototypeLs})
-				if err != nil {
-					return runVerdict{}, err
-				}
-				col := sim.NewCollector()
-				for id := 1; id <= 4; id++ {
-					col.HookDiag(id, runners[id])
-				}
-				eng.Bus().AddDisturbance(fault.NewTrain(
-					fault.SlotBurst(eng.Schedule(), injectRound, startSlot, slots)))
-				if err := eng.RunRounds(injectRound + 10); err != nil {
-					return runVerdict{}, err
-				}
-				if err := sim.AuditTheorem1(eng, col, []int{1, 2, 3, 4}, 4, injectRound+6); err != nil {
-					return runVerdict{failure: err.Error()}, nil
-				}
-				return runVerdict{pass: true}, nil
-			})
+			verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
+				newDiagWorker(src, sim.ClusterConfig{Ls: prototypeLs}),
+				func(w *diagWorker, run int) (runVerdict, error) {
+					eng, runners := w.reset()
+					stream := w.rng.Stream(fmt.Sprintf("sec8-bursts/%d-from-%d/run-%d", slots, startSlot, run))
+					injectRound := 5 + stream.Intn(6)
+					col := w.col
+					for id := 1; id <= 4; id++ {
+						col.HookDiag(id, runners[id])
+					}
+					eng.Bus().AddDisturbance(fault.NewTrain(
+						fault.SlotBurst(eng.Schedule(), injectRound, startSlot, slots)))
+					if err := eng.RunRounds(injectRound + 10); err != nil {
+						return runVerdict{}, err
+					}
+					if err := sim.AuditTheorem1(eng, col, []int{1, 2, 3, 4}, 4, injectRound+6); err != nil {
+						return runVerdict{failure: err.Error()}, nil
+					}
+					return runVerdict{pass: true}, nil
+				})
 			if err != nil {
 				return nil, err
 			}
@@ -148,36 +200,35 @@ func runSec8Bursts(p Params) error {
 func PRCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
 	src := rng.NewSource(p.Seed)
-	verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
-		stream := src.Stream(fmt.Sprintf("sec8-pr/run-%d", run))
-		startRound := 6 + stream.Intn(4)
-		target := 1 + stream.Intn(4)
-		eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{
+	verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
+		newDiagWorker(src, sim.ClusterConfig{
 			Ls: prototypeLs,
 			PR: core.PRConfig{PenaltyThreshold: 1 << 30, RewardThreshold: 100},
-		})
-		if err != nil {
-			return runVerdict{}, err
-		}
-		var bursts []fault.Burst
-		for r := startRound; r < startRound+20; r += 2 {
-			bursts = append(bursts, fault.SlotBurst(eng.Schedule(), r, target, 1))
-		}
-		eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
-		if err := eng.RunRounds(startRound + 30); err != nil {
-			return runVerdict{}, err
-		}
-		v := runVerdict{pass: true}
-		for id := 1; id <= 4; id++ {
-			pr := runners[id].Protocol().PenaltyReward()
-			if pr.Penalty(target) != 10 {
-				if v.pass {
-					v = runVerdict{failure: fmt.Sprintf("node %d: penalty %d, want 10", id, pr.Penalty(target))}
+		}),
+		func(w *diagWorker, run int) (runVerdict, error) {
+			eng, runners := w.reset()
+			stream := w.rng.Stream(fmt.Sprintf("sec8-pr/run-%d", run))
+			startRound := 6 + stream.Intn(4)
+			target := 1 + stream.Intn(4)
+			var bursts []fault.Burst
+			for r := startRound; r < startRound+20; r += 2 {
+				bursts = append(bursts, fault.SlotBurst(eng.Schedule(), r, target, 1))
+			}
+			eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
+			if err := eng.RunRounds(startRound + 30); err != nil {
+				return runVerdict{}, err
+			}
+			v := runVerdict{pass: true}
+			for id := 1; id <= 4; id++ {
+				pr := runners[id].Protocol().PenaltyReward()
+				if pr.Penalty(target) != 10 {
+					if v.pass {
+						v = runVerdict{failure: fmt.Sprintf("node %d: penalty %d, want 10", id, pr.Penalty(target))}
+					}
 				}
 			}
-		}
-		return v, nil
-	})
+			return v, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -201,39 +252,38 @@ func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 	var rows []CampaignRow
 	for mal := 1; mal <= 4; mal++ {
 		mal := mal
-		verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
-			eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{Ls: prototypeLs})
-			if err != nil {
-				return runVerdict{}, err
-			}
-			col := sim.NewCollector()
-			for id := 1; id <= 4; id++ {
-				col.HookDiag(id, runners[id])
-			}
-			eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
-				tdma.NodeID(mal), src.Stream(fmt.Sprintf("mal-%d-%d", mal, run))))
-			if err := eng.RunRounds(24); err != nil {
-				return runVerdict{}, err
-			}
-			var obedient []int
-			for id := 1; id <= 4; id++ {
-				if id != mal {
-					obedient = append(obedient, id)
+		verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
+			newDiagWorker(src, sim.ClusterConfig{Ls: prototypeLs}),
+			func(w *diagWorker, run int) (runVerdict, error) {
+				eng, runners := w.reset()
+				col := w.col
+				for id := 1; id <= 4; id++ {
+					col.HookDiag(id, runners[id])
 				}
-			}
-			err = sim.AuditTheorem1(eng, col, obedient, 4, 20)
-			if err == nil {
-				for d := 4; d < 20 && err == nil; d++ {
-					if hv := col.ConsHV[d][obedient[0]]; hv.CountFaulty() != 0 {
-						err = fmt.Errorf("round %d: conviction %v", d, hv)
+				eng.Bus().AddDisturbance(fault.NewMaliciousSyndrome(
+					tdma.NodeID(mal), w.rng.Stream(fmt.Sprintf("mal-%d-%d", mal, run))))
+				if err := eng.RunRounds(24); err != nil {
+					return runVerdict{}, err
+				}
+				var obedient []int
+				for id := 1; id <= 4; id++ {
+					if id != mal {
+						obedient = append(obedient, id)
 					}
 				}
-			}
-			if err != nil {
-				return runVerdict{failure: err.Error()}, nil
-			}
-			return runVerdict{pass: true}, nil
-		})
+				err := sim.AuditTheorem1(eng, col, obedient, 4, 20)
+				if err == nil {
+					for d := 4; d < 20 && err == nil; d++ {
+						if hv := col.ConsHV[d][obedient[0]]; hv.CountFaulty() != 0 {
+							err = fmt.Errorf("round %d: conviction %v", d, hv)
+						}
+					}
+				}
+				if err != nil {
+					return runVerdict{failure: err.Error()}, nil
+				}
+				return runVerdict{pass: true}, nil
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -258,37 +308,36 @@ func runSec8Malicious(p Params) error {
 func CliqueCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
 	src := rng.NewSource(p.Seed)
-	verdicts, err := campaign.Run(p.Workers, p.Runs, func(run int) (runVerdict, error) {
-		stream := src.Stream(fmt.Sprintf("sec8-clique/run-%d", run))
-		faultRound := 6 + stream.Intn(6)
-		missedSender := tdma.NodeID(2 + stream.Intn(3))
-		eng, runners, err := sim.NewMembershipCluster(sim.ClusterConfig{Ls: prototypeLs})
-		if err != nil {
-			return runVerdict{}, err
-		}
-		eng.Bus().AddDisturbance(fault.ReceiverBlind{
-			Receiver: 1, Senders: []tdma.NodeID{missedSender},
-			FromRound: faultRound, ToRound: faultRound + 1,
+	verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
+		newMemWorker(src, sim.ClusterConfig{Ls: prototypeLs}),
+		func(w *memWorker, run int) (runVerdict, error) {
+			eng, runners := w.reset()
+			stream := w.rng.Stream(fmt.Sprintf("sec8-clique/run-%d", run))
+			faultRound := 6 + stream.Intn(6)
+			missedSender := tdma.NodeID(2 + stream.Intn(3))
+			eng.Bus().AddDisturbance(fault.ReceiverBlind{
+				Receiver: 1, Senders: []tdma.NodeID{missedSender},
+				FromRound: faultRound, ToRound: faultRound + 1,
+			})
+			if err := eng.RunRounds(faultRound + 14); err != nil {
+				return runVerdict{}, err
+			}
+			lag := runners[1].Service().Protocol().Config().Lag()
+			ref := runners[1].View()
+			for id := 1; id <= 4; id++ {
+				v := runners[id].View()
+				if fmt.Sprint(v.Members) != "[2 3 4]" {
+					return runVerdict{failure: fmt.Sprintf("node %d view %v", id, v.Members)}, nil
+				}
+				if v.FormedAtRound != ref.FormedAtRound || v.ID != ref.ID {
+					return runVerdict{failure: fmt.Sprintf("node %d view disagrees with node 1", id)}, nil
+				}
+				if v.FormedAtRound > faultRound+2*(lag+1) {
+					return runVerdict{failure: fmt.Sprintf("view formed at %d, fault at %d (liveness)", v.FormedAtRound, faultRound)}, nil
+				}
+			}
+			return runVerdict{pass: true}, nil
 		})
-		if err := eng.RunRounds(faultRound + 14); err != nil {
-			return runVerdict{}, err
-		}
-		lag := runners[1].Service().Protocol().Config().Lag()
-		ref := runners[1].View()
-		for id := 1; id <= 4; id++ {
-			v := runners[id].View()
-			if fmt.Sprint(v.Members) != "[2 3 4]" {
-				return runVerdict{failure: fmt.Sprintf("node %d view %v", id, v.Members)}, nil
-			}
-			if v.FormedAtRound != ref.FormedAtRound || v.ID != ref.ID {
-				return runVerdict{failure: fmt.Sprintf("node %d view disagrees with node 1", id)}, nil
-			}
-			if v.FormedAtRound > faultRound+2*(lag+1) {
-				return runVerdict{failure: fmt.Sprintf("view formed at %d, fault at %d (liveness)", v.FormedAtRound, faultRound)}, nil
-			}
-		}
-		return runVerdict{pass: true}, nil
-	})
 	if err != nil {
 		return nil, err
 	}

@@ -44,8 +44,11 @@ var deterministicPkgs = []string{
 var orderSensitivePkgs = append([]string{"internal/trace"}, deterministicPkgs...)
 
 // channelPkgs hosts the goroutine-per-node runtime and the campaign worker
-// pool, whose shutdown discipline the channel rule enforces.
-var channelPkgs = []string{"internal/cluster", "internal/campaign"}
+// pool, whose shutdown discipline the channel rule enforces. The lock-step
+// simulation layer and the TDMA substrate are covered too: they must stay
+// channel-free (any channel there would imply scheduling-dependent state),
+// so the rule flags every unbuffered make(chan) in them.
+var channelPkgs = []string{"internal/cluster", "internal/campaign", "internal/sim", "internal/tdma"}
 
 // randExemptPkgs may touch math/rand directly: internal/rng is the sanctioned
 // seeded-stream wrapper everything else must go through.

@@ -88,6 +88,25 @@ func New(cfg core.Config) (*Service, error) {
 // Protocol exposes the underlying diagnostic protocol.
 func (s *Service) Protocol() *core.Protocol { return s.proto }
 
+// Reset returns the service to its freshly constructed state — the
+// underlying protocol restarts its warm-up, the initial full view is
+// reinstalled and the view history is cleared — so one instance can be
+// reused across campaign repetitions. Views handed out earlier are
+// unaffected (View and History return copies).
+func (s *Service) Reset() {
+	s.proto.Reset()
+	n := s.proto.Config().N
+	members := make([]int, n)
+	for j := 1; j <= n; j++ {
+		members[j-1] = j
+	}
+	s.view = View{ID: 0, Members: members, FormedAtRound: -1}
+	s.history = s.history[:0]
+	for j := range s.out {
+		s.out[j] = false
+	}
+}
+
 // View returns the current view.
 func (s *Service) View() View { return s.view.clone() }
 

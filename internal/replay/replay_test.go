@@ -13,7 +13,7 @@ import (
 
 // recordRun executes a live cluster with a fault scenario, records the bus
 // transcript and collects the live per-round health vectors of every node.
-func recordRun(t *testing.T, cfg sim.ClusterConfig, rounds int, arm func(*sim.Engine)) (*Log, map[int]map[int]core.Syndrome, []sim.Isolation) {
+func recordRun(t *testing.T, cfg sim.ClusterConfig, rounds int, arm func(*sim.Engine)) (*Log, [][]core.Syndrome, []sim.Isolation) {
 	t.Helper()
 	eng, runners, err := sim.NewDiagnosticCluster(cfg)
 	if err != nil {

@@ -1,0 +1,42 @@
+// Allocation-ceiling regression test for the lock-step simulation hot path.
+// The race detector instruments allocations and testing.AllocsPerRun becomes
+// meaningless under it, so this file is excluded from -race builds.
+
+//go:build !race
+
+package sim
+
+import (
+	"testing"
+
+	"ttdiag/internal/invariant"
+)
+
+// TestEngineRoundAllocs pins the steady-state allocation budget of one TDMA
+// round on the 4-node prototype: two allocations per node Step (the retained
+// per-round block and the matrix row headers) plus the amortized ground-truth
+// growth — the bus, the controllers and the round-input construction must not
+// allocate at all.
+func TestEngineRoundAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
+	}
+	cl, err := NewReusableDiagnosticCluster(ClusterConfig{Ls: []int{2, 0, 3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: fill every reusable buffer and get past the truth block's
+	// early doublings.
+	if err := cl.Eng.RunRounds(64); err != nil {
+		t.Fatal(err)
+	}
+	const ceiling = 10
+	avg := testing.AllocsPerRun(100, func() {
+		if err := cl.Eng.RunRound(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Fatalf("RunRound allocates %.1f objects/round in steady state, ceiling %d", avg, ceiling)
+	}
+}

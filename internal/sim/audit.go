@@ -35,8 +35,12 @@ type Isolation struct {
 // and metric extraction. Install its hooks before running the engine.
 type Collector struct {
 	// ConsHV[diagnosedRound][observer] is the consistent health vector the
-	// observer computed for that round.
-	ConsHV map[int]map[int]core.Syndrome
+	// observer computed for that round. The outer slice covers rounds up to
+	// the last diagnosed one; the inner slice is 1-based by observer and is
+	// nil — or, on a reused collector, all-nil — for rounds nobody has
+	// diagnosed (use RoundHVs for bounds-safe reads and check entries for
+	// nil).
+	ConsHV [][]core.Syndrome
 	// Isolations and Reintegrations in decision order.
 	Isolations     []Isolation
 	Reintegrations []Isolation
@@ -44,7 +48,31 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{ConsHV: make(map[int]map[int]core.Syndrome)}
+	return &Collector{}
+}
+
+// Reset empties the collector for reuse in the next campaign repetition,
+// keeping the recorded-round storage allocated. A reset collector is
+// observationally identical to a fresh one.
+func (c *Collector) Reset() {
+	for _, byObs := range c.ConsHV {
+		for j := range byObs {
+			byObs[j] = nil
+		}
+	}
+	c.ConsHV = c.ConsHV[:0]
+	c.Isolations = c.Isolations[:0]
+	c.Reintegrations = c.Reintegrations[:0]
+}
+
+// RoundHVs returns the health vectors recorded for a diagnosed round,
+// indexed by observer (nil entries for observers that recorded nothing), or
+// nil when no observer diagnosed the round.
+func (c *Collector) RoundHVs(round int) []core.Syndrome {
+	if round < 0 || round >= len(c.ConsHV) {
+		return nil
+	}
+	return c.ConsHV[round]
 }
 
 // HookDiag installs the collector on a DiagRunner.
@@ -59,12 +87,20 @@ func (c *Collector) HookMembership(observer int, r *MembershipRunner) {
 
 func (c *Collector) record(observer int, out core.RoundOutput) {
 	if out.ConsHV != nil {
-		byObs := c.ConsHV[out.DiagnosedRound]
-		if byObs == nil {
-			byObs = make(map[int]core.Syndrome)
-			c.ConsHV[out.DiagnosedRound] = byObs
+		d := out.DiagnosedRound
+		for len(c.ConsHV) <= d {
+			if len(c.ConsHV) < cap(c.ConsHV) {
+				// Re-extend over storage kept by Reset: the inner slice is
+				// already allocated (and cleared), so reuse it.
+				c.ConsHV = c.ConsHV[:len(c.ConsHV)+1]
+			} else {
+				c.ConsHV = append(c.ConsHV, nil)
+			}
 		}
-		byObs[observer] = out.ConsHV
+		if len(c.ConsHV[d]) != len(out.ConsHV) {
+			c.ConsHV[d] = make([]core.Syndrome, len(out.ConsHV))
+		}
+		c.ConsHV[d][observer] = out.ConsHV
 	}
 	for _, j := range out.Isolated {
 		c.Isolations = append(c.Isolations, Isolation{Observer: observer, Node: j, Round: out.Round})
@@ -116,15 +152,15 @@ func AuditTheorem1(eng *Engine, col *Collector, obedient []int, fromRound, toRou
 		if truth == nil {
 			return fmt.Errorf("sim: no ground truth for round %d", d)
 		}
-		byObs := col.ConsHV[d]
+		byObs := col.RoundHVs(d)
 		if byObs == nil {
 			return fmt.Errorf("sim: no health vectors recorded for round %d", d)
 		}
 		var ref core.Syndrome
 		var refObs int
 		for _, obs := range obedient {
-			hv, ok := byObs[obs]
-			if !ok {
+			hv := byObs[obs]
+			if hv == nil {
 				return fmt.Errorf("sim: observer %d produced no health vector for round %d", obs, d)
 			}
 			if ref == nil {

@@ -156,6 +156,126 @@ func bootstrapOutboxes(eng *Engine, n int) {
 	}
 }
 
+// DiagCluster is a reusable diagnostic cluster: one engine plus one
+// DiagRunner per node, built once and then reset between campaign
+// repetitions, so that the steady state of a Monte-Carlo campaign performs no
+// per-repetition wiring allocations.
+type DiagCluster struct {
+	Eng     *Engine
+	Runners []*DiagRunner // 1-based; entry 0 is nil
+	cfg     ClusterConfig // normalized; Ls is cluster-owned
+	initial []byte        // bootstrap payload staged on every reset
+}
+
+// NewReusableDiagnosticCluster builds a diagnostic cluster intended for
+// reuse via Reset / ResetLs.
+func NewReusableDiagnosticCluster(cfg ClusterConfig) (*DiagCluster, error) {
+	norm, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	norm.Mode = core.ModeDiagnostic
+	eng, runners, err := NewDiagnosticCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	norm.Ls = append([]int(nil), norm.Ls...)
+	return &DiagCluster{
+		Eng:     eng,
+		Runners: runners,
+		cfg:     norm,
+		initial: core.NewSyndrome(norm.N, core.Healthy).Encode(),
+	}, nil
+}
+
+// Config returns the cluster's normalized configuration.
+func (c *DiagCluster) Config() ClusterConfig { return c.cfg }
+
+// Reset rewinds the cluster to its freshly built state for the next
+// repetition: engine ground truth and disturbances are discarded, every
+// protocol restarts its warm-up, observers are detached and the bootstrap
+// payloads are re-staged. No allocations are needed beyond the protocol's
+// per-reset syndrome pair.
+func (c *DiagCluster) Reset() {
+	c.Eng.ResetForRun()
+	for id := 1; id <= c.cfg.N; id++ {
+		c.Runners[id].ResetForRun()
+		c.Eng.Controller(tdmaID(id)).WriteInterface(c.initial)
+	}
+}
+
+// ResetLs is Reset with a new internal schedule: every node's
+// diagnostic-job position is re-pinned to ls[i] (0-based, node i+1) and its
+// protocol reconfigured accordingly — the per-repetition random schedules of
+// the resilience experiments without rebuilding the cluster.
+func (c *DiagCluster) ResetLs(ls []int) error {
+	if len(ls) != c.cfg.N {
+		return fmt.Errorf("sim: ResetLs got %d positions, want %d", len(ls), c.cfg.N)
+	}
+	for i, l := range ls {
+		if l < 0 || l > c.cfg.N-1 {
+			return fmt.Errorf("sim: node %d job position %d out of range 0..%d", i+1, l, c.cfg.N-1)
+		}
+		if c.cfg.AllSendCurrRound && l >= i+1 {
+			return fmt.Errorf("sim: AllSendCurrRound set but node %d has l=%d (job after its slot)", i+1, l)
+		}
+	}
+	copy(c.cfg.Ls, ls)
+	c.Eng.ResetForRun()
+	for id := 1; id <= c.cfg.N; id++ {
+		if err := c.Runners[id].ResetConfig(c.cfg.nodeConfig(id)); err != nil {
+			return err
+		}
+		if err := c.Eng.SetNodePosition(tdmaID(id), ls[id-1]); err != nil {
+			return err
+		}
+		c.Eng.Controller(tdmaID(id)).WriteInterface(c.initial)
+	}
+	return nil
+}
+
+// MembershipCluster is the reusable counterpart of NewMembershipCluster.
+type MembershipCluster struct {
+	Eng     *Engine
+	Runners []*MembershipRunner // 1-based; entry 0 is nil
+	cfg     ClusterConfig
+	initial []byte
+}
+
+// NewReusableMembershipCluster builds a membership cluster intended for
+// reuse via Reset.
+func NewReusableMembershipCluster(cfg ClusterConfig) (*MembershipCluster, error) {
+	norm, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	norm.Mode = core.ModeMembership
+	eng, runners, err := NewMembershipCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	norm.Ls = append([]int(nil), norm.Ls...)
+	return &MembershipCluster{
+		Eng:     eng,
+		Runners: runners,
+		cfg:     norm,
+		initial: core.NewSyndrome(norm.N, core.Healthy).Encode(),
+	}, nil
+}
+
+// Config returns the cluster's normalized configuration.
+func (c *MembershipCluster) Config() ClusterConfig { return c.cfg }
+
+// Reset rewinds the cluster to its freshly built state for the next
+// repetition (see DiagCluster.Reset).
+func (c *MembershipCluster) Reset() {
+	c.Eng.ResetForRun()
+	for id := 1; id <= c.cfg.N; id++ {
+		c.Runners[id].ResetForRun()
+		c.Eng.Controller(tdmaID(id)).WriteInterface(c.initial)
+	}
+}
+
 // NewMembershipCluster wires an engine with one MembershipRunner per node.
 func NewMembershipCluster(cfg ClusterConfig) (*Engine, []*MembershipRunner, error) {
 	cfg, err := cfg.withDefaults()

@@ -58,12 +58,20 @@ type Engine struct {
 	round int
 
 	// OnReport, when set, observes every slot transmission report (used by
-	// the flight-recorder tooling in internal/replay).
+	// the flight-recorder tooling in internal/replay). The report is
+	// bus-owned scratch — observers keeping it across slots must Clone it.
 	OnReport func(*tdma.TxReport)
 
-	// truth[round][slot] is the ground-truth outcome class of each
-	// transmission; truth[round][0] is unused.
-	truth [][]tdma.OutcomeClass
+	// truth is the ground-truth outcome class of every executed
+	// transmission, stored as one flat block of (N+1)-entry rows: entry
+	// round*(N+1)+slot is the class of that slot's transmission (slot 0
+	// unused). The block grows by doubling, so RunRound performs no
+	// steady-state allocation for it.
+	truth []tdma.OutcomeClass
+
+	// positions is RunRound's per-round scratch for the nodes' job
+	// positions (1-based).
+	positions []int
 }
 
 // NewEngine builds an engine over a fresh bus for the given schedule.
@@ -72,11 +80,43 @@ func NewEngine(sched *tdma.Schedule, sink trace.Sink) *Engine {
 		sink = trace.Discard{}
 	}
 	return &Engine{
-		sched: sched,
-		bus:   tdma.NewBus(sched, sink),
-		nodes: make([]*node, sched.N()+1),
-		sink:  sink,
+		sched:     sched,
+		bus:       tdma.NewBus(sched, sink),
+		nodes:     make([]*node, sched.N()+1),
+		sink:      sink,
+		positions: make([]int, sched.N()+1),
 	}
+}
+
+// ResetForRun rewinds the engine to round 0 for a fresh repetition: the
+// recorded ground truth is discarded, every attached controller is reset and
+// all bus disturbances are removed, while the allocated buffers, the nodes
+// and their runners are kept. Runners carry their own protocol state and
+// must be reset separately (see DiagRunner.ResetForRun); ground-truth views
+// returned by Truth before the reset are invalidated.
+func (e *Engine) ResetForRun() {
+	e.round = 0
+	e.truth = e.truth[:0]
+	e.bus.ClearDisturbances()
+	e.OnReport = nil
+	for id := 1; id < len(e.nodes); id++ {
+		if e.nodes[id] != nil {
+			e.nodes[id].ctrl.Reset()
+		}
+	}
+}
+
+// SetNodePosition re-pins the diagnostic-job position of an already added
+// node (used when a reused cluster is reconfigured between repetitions).
+func (e *Engine) SetNodePosition(id tdma.NodeID, l int) error {
+	if id < 1 || int(id) >= len(e.nodes) || e.nodes[id] == nil {
+		return fmt.Errorf("sim: node %d not added", id)
+	}
+	if l < 0 || l > e.sched.N()-1 {
+		return fmt.Errorf("sim: node %d job position %d out of range 0..%d", id, l, e.sched.N()-1)
+	}
+	e.nodes[id].pos = func(int) (int, error) { return l, nil }
+	return nil
 }
 
 // Bus returns the engine's bus (to attach disturbances).
@@ -149,8 +189,21 @@ func (e *Engine) RunRound() error {
 		}
 	}
 	k := e.round
-	rt := make([]tdma.OutcomeClass, n+1)
-	positions := make([]int, n+1)
+	// The round's ground-truth row is carved out of the flat block beyond
+	// its current length and only committed (by extending the length) when
+	// the round completes, so a failed round records nothing.
+	stride := n + 1
+	base := k * stride
+	if cap(e.truth) < base+stride {
+		grown := make([]tdma.OutcomeClass, len(e.truth), 2*(base+stride))
+		copy(grown, e.truth)
+		e.truth = grown
+	}
+	rt := e.truth[base : base+stride : base+stride]
+	for i := range rt {
+		rt[i] = 0
+	}
+	positions := e.positions
 	for id := 1; id <= n; id++ {
 		p, err := e.nodes[id].pos(k)
 		if err != nil {
@@ -204,7 +257,7 @@ func (e *Engine) RunRound() error {
 			}
 		}
 	}
-	e.truth = append(e.truth, rt)
+	e.truth = e.truth[:base+stride]
 	e.round++
 	return nil
 }
@@ -220,10 +273,15 @@ func (e *Engine) RunRounds(count int) error {
 }
 
 // Truth returns the ground-truth outcome classes of the given executed round
-// (1-based by slot), or nil if the round has not been executed.
+// (1-based by slot), or nil if the round has not been executed. The returned
+// slice is a read-only view into the engine's flat ground-truth block: it
+// stays valid until the next RunRound (which may grow the block) or
+// ResetForRun — callers that keep rows across rounds must copy them. Every
+// in-tree auditor reads rows immediately or after the run has finished.
 func (e *Engine) Truth(round int) []tdma.OutcomeClass {
-	if round < 0 || round >= len(e.truth) {
+	stride := e.sched.N() + 1
+	if round < 0 || (round+1)*stride > len(e.truth) {
 		return nil
 	}
-	return e.truth[round]
+	return e.truth[round*stride : (round+1)*stride : (round+1)*stride]
 }

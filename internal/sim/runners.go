@@ -8,43 +8,71 @@ import (
 	"ttdiag/internal/tdma"
 )
 
-// buildRoundInput converts a live controller snapshot into the protocol's
-// round input.
-func buildRoundInput(round, n int, ctrl *tdma.Controller) core.RoundInput {
-	values, valid := ctrl.Snapshot()
-	return buildInput(round, n, values, valid, ctrl)
+// inputScratch is a runner-owned reusable backing for core.RoundInput: the
+// DM slice, the per-sender decode targets, the validity vector and the
+// collision-detector closure are allocated once and overwritten every round
+// (the protocol copies its inputs in, so reuse after Step is safe).
+type inputScratch struct {
+	dms      []core.Syndrome // n+1; entry j aliases rows[j] or is nil (ε)
+	rows     []core.Syndrome // n+1 preallocated decode destinations
+	validity core.Syndrome
+	// collision is cached per controller so the hot path does not allocate
+	// a fresh closure every round.
+	collision core.CollisionFn
+	ctrl      *tdma.Controller
 }
 
-// buildInput converts interface-variable values and validity bits (from a
-// live read or a stored round-start snapshot) into the protocol's round
-// input: decoded diagnostic messages (nil = ε for invalid or undecodable
-// payloads), the validity-bit vector, and the collision-detector query.
-func buildInput(round, n int, values [][]byte, valid []bool, ctrl *tdma.Controller) core.RoundInput {
+// build converts interface-variable values and validity bits (from a live
+// read or a stored round-start snapshot) into the protocol's round input:
+// decoded diagnostic messages (nil = ε for invalid or undecodable payloads),
+// the validity-bit vector, and the collision-detector query. The returned
+// input aliases the scratch and is valid until the next build.
+func (sc *inputScratch) build(round, n int, values [][]byte, valid []bool, ctrl *tdma.Controller) core.RoundInput {
+	if sc.dms == nil {
+		sc.dms = make([]core.Syndrome, n+1)
+		sc.rows = make([]core.Syndrome, n+1)
+		for j := 1; j <= n; j++ {
+			sc.rows[j] = core.NewSyndrome(n, core.Faulty)
+		}
+		sc.validity = core.NewSyndrome(n, core.Healthy)
+	}
+	if sc.ctrl != ctrl {
+		sc.ctrl = ctrl
+		sc.collision = func(r int) core.Opinion {
+			if collided, ok := ctrl.Collision(r); ok && collided {
+				return core.Faulty
+			}
+			return core.Healthy
+		}
+	}
 	in := core.RoundInput{
-		Round:    round,
-		DMs:      make([]core.Syndrome, n+1),
-		Validity: core.NewSyndrome(n, core.Healthy),
+		Round:     round,
+		DMs:       sc.dms,
+		Validity:  sc.validity,
+		Collision: sc.collision,
 	}
 	for j := 1; j <= n; j++ {
+		in.DMs[j] = nil
 		if !valid[j] {
 			in.Validity[j] = core.Faulty
 			continue
 		}
-		s, err := core.DecodeSyndrome(values[j], n)
-		if err != nil {
+		in.Validity[j] = core.Healthy
+		if err := core.DecodeSyndromeInto(sc.rows[j], values[j]); err != nil {
 			// A syntactically wrong payload is locally detectable.
 			in.Validity[j] = core.Faulty
 			continue
 		}
-		in.DMs[j] = s
-	}
-	in.Collision = func(r int) core.Opinion {
-		if collided, ok := ctrl.Collision(r); ok && collided {
-			return core.Faulty
-		}
-		return core.Healthy
+		in.DMs[j] = sc.rows[j]
 	}
 	return in
+}
+
+// buildRoundInput converts the controller's live interface state into the
+// protocol's round input.
+func (sc *inputScratch) buildRoundInput(round, n int, ctrl *tdma.Controller) core.RoundInput {
+	values, valid := ctrl.ReadAll()
+	return sc.build(round, n, values, valid, ctrl)
 }
 
 // applyActivity propagates the protocol's activity vector into the node's
@@ -63,13 +91,15 @@ func applyActivity(ctrl *tdma.Controller, active []bool, observe bool) {
 // controller, steps the protocol, applies isolation decisions to the
 // controller, and stages the dissemination payload.
 type DiagRunner struct {
-	proto *core.Protocol
-	last  core.RoundOutput
+	proto   *core.Protocol
+	last    core.RoundOutput
+	scratch inputScratch
 	// OnOutput, when set, observes every round output (used by collectors).
 	OnOutput func(core.RoundOutput)
 
 	// Round-start interface snapshot, captured by the engine for
-	// dynamically scheduled nodes (core.Config.Dynamic).
+	// dynamically scheduled nodes (core.Config.Dynamic). The value buffers
+	// are runner-owned and reused across rounds.
 	snapRound  int
 	snapValues [][]byte
 	snapValid  []bool
@@ -83,9 +113,43 @@ func (r *DiagRunner) CaptureSnapshot(round int, ctrl *tdma.Controller) {
 	if !r.proto.Config().Dynamic {
 		return
 	}
-	r.snapValues, r.snapValid = ctrl.Snapshot()
+	values, valid := ctrl.ReadAll()
+	n := r.proto.Config().N
+	if r.snapValues == nil {
+		r.snapValues = make([][]byte, n+1)
+		r.snapValid = make([]bool, n+1)
+	}
+	for j := 1; j <= n; j++ {
+		r.snapValues[j] = append(r.snapValues[j][:0], values[j]...)
+		r.snapValid[j] = valid[j]
+	}
 	r.snapRound = round
 	r.haveSnap = true
+}
+
+// ResetForRun returns the runner (and its protocol) to the freshly
+// constructed state so one instance can be reused across campaign
+// repetitions: the protocol restarts its warm-up, the last output and the
+// dynamic-scheduling snapshot are dropped, and any OnOutput observer is
+// detached (campaign loops attach a fresh collector per repetition).
+func (r *DiagRunner) ResetForRun() {
+	r.proto.Reset()
+	r.last = core.RoundOutput{}
+	r.OnOutput = nil
+	r.haveSnap = false
+}
+
+// ResetConfig is ResetForRun with a configuration swap (same N), used when a
+// reused cluster changes per-repetition parameters such as the internal
+// schedule position L.
+func (r *DiagRunner) ResetConfig(cfg core.Config) error {
+	if err := r.proto.ResetConfig(cfg); err != nil {
+		return err
+	}
+	r.last = core.RoundOutput{}
+	r.OnOutput = nil
+	r.haveSnap = false
+	return nil
 }
 
 var _ Runner = (*DiagRunner)(nil)
@@ -112,9 +176,9 @@ func (r *DiagRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
 		if !r.haveSnap || r.snapRound != round {
 			return nil, fmt.Errorf("sim: node %d: dynamic protocol without a round-%d snapshot", r.proto.Config().ID, round)
 		}
-		in = buildInput(round, r.proto.Config().N, r.snapValues, r.snapValid, ctrl)
+		in = r.scratch.build(round, r.proto.Config().N, r.snapValues, r.snapValid, ctrl)
 	} else {
-		in = buildRoundInput(round, r.proto.Config().N, ctrl)
+		in = r.scratch.buildRoundInput(round, r.proto.Config().N, ctrl)
 	}
 	out, err := r.proto.Step(in)
 	if err != nil {
@@ -130,10 +194,20 @@ func (r *DiagRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
 
 // MembershipRunner adapts a membership.Service to the engine.
 type MembershipRunner struct {
-	svc  *membership.Service
-	last membership.Output
+	svc     *membership.Service
+	last    membership.Output
+	scratch inputScratch
 	// OnOutput, when set, observes every round output.
 	OnOutput func(membership.Output)
+}
+
+// ResetForRun returns the runner (and its membership service) to the freshly
+// constructed state so one instance can be reused across campaign
+// repetitions; any OnOutput observer is detached.
+func (r *MembershipRunner) ResetForRun() {
+	r.svc.Reset()
+	r.last = membership.Output{}
+	r.OnOutput = nil
 }
 
 var _ Runner = (*MembershipRunner)(nil)
@@ -158,7 +232,7 @@ func (r *MembershipRunner) View() membership.View { return r.svc.View() }
 
 // Run implements Runner.
 func (r *MembershipRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
-	in := buildRoundInput(round, r.svc.Protocol().Config().N, ctrl)
+	in := r.scratch.buildRoundInput(round, r.svc.Protocol().Config().N, ctrl)
 	out, err := r.svc.Step(in)
 	if err != nil {
 		return nil, err

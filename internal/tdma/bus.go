@@ -54,6 +54,20 @@ type TxReport struct {
 	Collision bool
 }
 
+// Clone returns a retain-safe deep copy of the report: the bus reuses the
+// report (and the payload slices it references) for the next slot, so
+// observers that keep reports across slots must clone them first.
+func (r *TxReport) Clone() *TxReport {
+	cp := *r
+	cp.Tx.Payload = append([]byte(nil), r.Tx.Payload...)
+	cp.Deliveries = make([]Delivery, len(r.Deliveries))
+	for i, d := range r.Deliveries {
+		d.Payload = append([]byte(nil), d.Payload...)
+		cp.Deliveries[i] = d
+	}
+	return &cp
+}
+
 // Classify returns the ground-truth outcome class of the transmission with
 // respect to the receivers other than the sender.
 func (r *TxReport) Classify() OutcomeClass {
@@ -93,6 +107,14 @@ type Bus struct {
 	ctrls []*Controller // 1-based by node ID
 	dist  Disturbances
 	sink  trace.Sink
+
+	// payloadBuf, tx and report are the bus's reusable in-flight frame: the
+	// staged payload copy, the transmission handed to disturbances and the
+	// per-slot transmission report are overwritten on every TransmitSlot
+	// instead of allocated per slot.
+	payloadBuf []byte
+	tx         Transmission
+	report     TxReport
 }
 
 // NewBus creates a bus for the given schedule. All N controllers must be
@@ -102,9 +124,10 @@ func NewBus(sched *Schedule, sink trace.Sink) *Bus {
 		sink = trace.Discard{}
 	}
 	return &Bus{
-		sched: sched,
-		ctrls: make([]*Controller, sched.N()+1),
-		sink:  sink,
+		sched:  sched,
+		ctrls:  make([]*Controller, sched.N()+1),
+		sink:   sink,
+		report: TxReport{Deliveries: make([]Delivery, sched.N()+1)},
 	}
 }
 
@@ -144,6 +167,10 @@ func (b *Bus) ClearDisturbances() { b.dist = nil }
 // given round (0-based): the slot owner's staged interface value is
 // broadcast, each receiver's controller is updated with its (possibly
 // disturbed) delivery, and the sender's collision detector is refreshed.
+//
+// The returned report is bus-owned scratch, overwritten by the next
+// TransmitSlot — observers that keep reports across slots must use
+// TxReport.Clone.
 func (b *Bus) TransmitSlot(round, slot int) (*TxReport, error) {
 	if !b.sched.ValidSlot(slot) {
 		return nil, fmt.Errorf("tdma: invalid slot %d", slot)
@@ -154,26 +181,29 @@ func (b *Bus) TransmitSlot(round, slot int) (*TxReport, error) {
 		return nil, fmt.Errorf("tdma: no controller attached for node %d", sender)
 	}
 	start, end := b.sched.SlotWindow(round, slot)
-	tx := Transmission{
+	b.payloadBuf = append(b.payloadBuf[:0], sc.Outbox()...)
+	// The transmission is built in bus-owned scratch: handing a pointer to
+	// the disturbance interface would otherwise heap-allocate it every slot.
+	tx := &b.tx
+	*tx = Transmission{
 		Sender:  sender,
 		Round:   round,
 		Slot:    slot,
 		Start:   start,
 		End:     end,
-		Payload: append([]byte(nil), sc.Outbox()...),
+		Payload: b.payloadBuf,
 	}
 
-	report := &TxReport{
-		Tx:         tx,
-		Deliveries: make([]Delivery, b.sched.N()+1),
-	}
+	report := &b.report
+	report.Tx = *tx
+	report.Collision = false
 	for rcv := 1; rcv <= b.sched.N(); rcv++ {
 		rc := b.ctrls[rcv]
 		if rc == nil {
 			return nil, fmt.Errorf("tdma: no controller attached for node %d", rcv)
 		}
 		d := Delivery{Valid: true, Payload: tx.Payload}
-		d = b.dist.Deliver(&tx, NodeID(rcv), d)
+		d = b.dist.Deliver(tx, NodeID(rcv), d)
 		if !d.Valid {
 			d.Payload = nil
 		}
@@ -184,7 +214,7 @@ func (b *Bus) TransmitSlot(round, slot int) (*TxReport, error) {
 	// The sender's loop-back validity is governed by its local collision
 	// detector: if the message could not be read back from the bus, the
 	// loop-back copy is invalid too.
-	report.Collision = b.dist.SenderCollision(&tx, false)
+	report.Collision = b.dist.SenderCollision(tx, false)
 	sc.RecordCollision(round, report.Collision)
 	if report.Collision {
 		sc.ApplyDelivery(sender, Delivery{})

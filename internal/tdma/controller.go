@@ -23,12 +23,16 @@ type Controller struct {
 	n  int
 
 	// values[j] and valid[j] (1-based) are the local copies of interface
-	// variable j and its validity bit.
+	// variable j and its validity bit. Each entry aliases valBuf[j], a
+	// per-sender scratch buffer reused across deliveries so the steady-state
+	// delivery path performs no allocation.
 	values [][]byte
 	valid  []bool
+	valBuf [][]byte
 
 	// outbox is the staged value of this node's own interface variable,
-	// transmitted at the node's next sending slot.
+	// transmitted at the node's next sending slot. Its backing array is
+	// reused across writes.
 	outbox []byte
 
 	// ignored marks senders whose traffic must be ignored because the
@@ -55,8 +59,25 @@ func NewController(id NodeID, n int) (*Controller, error) {
 		n:       n,
 		values:  make([][]byte, n+1),
 		valid:   make([]bool, n+1),
+		valBuf:  make([][]byte, n+1),
 		ignored: make([]bool, n+1),
 	}, nil
+}
+
+// Reset returns the controller to its freshly constructed state — all
+// interface copies cleared, validity bits down, outbox empty, isolation
+// marks lifted, collision history wiped — while keeping its internal
+// buffers for reuse across campaign repetitions.
+func (c *Controller) Reset() {
+	for j := 1; j <= c.n; j++ {
+		c.values[j] = nil
+		c.valid[j] = false
+		c.ignored[j] = false
+	}
+	c.outbox = c.outbox[:0]
+	c.collRound = [collisionHistory]int{}
+	c.collVerdict = [collisionHistory]bool{}
+	c.collSeen = [collisionHistory]bool{}
 }
 
 // ID returns the node this controller belongs to.
@@ -67,13 +88,16 @@ func (c *Controller) N() int { return c.n }
 
 // WriteInterface stages payload as the node's own interface-variable value;
 // it will be broadcast at the node's next sending slot. The payload is
-// copied.
+// copied into controller-owned scratch — the caller keeps ownership of its
+// slice.
 func (c *Controller) WriteInterface(payload []byte) {
-	c.outbox = append([]byte(nil), payload...)
+	c.outbox = append(c.outbox[:0], payload...)
 }
 
 // ReadValue returns the local copy of interface variable j and its validity
-// bit. The returned slice must not be modified by the caller.
+// bit. The returned slice is controller-owned scratch: it must not be
+// modified and is overwritten by the next delivery from j — callers must not
+// retain it across slots.
 func (c *Controller) ReadValue(j NodeID) (payload []byte, valid bool) {
 	if j < 1 || int(j) > c.n {
 		return nil, false
@@ -81,9 +105,20 @@ func (c *Controller) ReadValue(j NodeID) (payload []byte, valid bool) {
 	return c.values[j], c.valid[j]
 }
 
+// ReadAll returns the controller's interface-variable copies and validity
+// bits, both indexed 1..N (index 0 unused). Both slices and every payload
+// they reference are controller-owned: they must not be modified, and they
+// are overwritten in place by subsequent deliveries — callers must not
+// retain them across slots. Use Snapshot for a retain-safe deep copy.
+func (c *Controller) ReadAll() (values [][]byte, valid []bool) {
+	return c.values, c.valid
+}
+
 // Snapshot returns copies of all interface-variable values and validity bits,
 // both indexed 1..N (index 0 unused). It is what a diagnostic job reads at
-// the start of its execution (Alg. 1, lines 1-2).
+// the start of its execution (Alg. 1, lines 1-2). Unlike ReadAll, the copies
+// are freshly allocated and retain-safe; the hot path uses ReadAll and
+// decodes in place instead.
 func (c *Controller) Snapshot() (values [][]byte, valid []bool) {
 	values = make([][]byte, c.n+1)
 	valid = make([]bool, c.n+1)
@@ -136,22 +171,20 @@ func (c *Controller) Collision(round int) (collided, ok bool) {
 // ApplyDelivery installs what this node observed for a transmission: the
 // interface-variable copy is updated together with its validity bit
 // (invalid deliveries clear the value, modelling the controller discarding a
-// locally detected faulty frame).
+// locally detected faulty frame). The payload is copied into the
+// controller's per-sender scratch buffer, so the delivery's slice stays
+// owned by the caller.
 func (c *Controller) ApplyDelivery(sender NodeID, d Delivery) {
 	if sender < 1 || int(sender) > c.n {
 		return
 	}
-	if c.ignored[sender] {
+	if c.ignored[sender] || !d.Valid || len(d.Payload) == 0 {
 		c.values[sender] = nil
-		c.valid[sender] = false
+		c.valid[sender] = !c.ignored[sender] && d.Valid
 		return
 	}
-	if !d.Valid {
-		c.values[sender] = nil
-		c.valid[sender] = false
-		return
-	}
-	c.values[sender] = append([]byte(nil), d.Payload...)
+	c.valBuf[sender] = append(c.valBuf[sender][:0], d.Payload...)
+	c.values[sender] = c.valBuf[sender]
 	c.valid[sender] = true
 }
 

@@ -76,19 +76,32 @@ func TimeToIncorrectIsolation(scen fault.Scenario, res Result, runs, workers int
 
 	// One result per run: the isolation time of each class's node, or -1
 	// when it stayed in service for the whole horizon.
-	times, err := campaign.Run(workers, runs, func(run int) ([]time.Duration, error) {
-		phase := time.Duration(0)
-		if randomPhase {
-			stream := src.Stream(fmt.Sprintf("adverse-phase/run-%d", run))
-			phase = time.Duration(stream.Int63n(int64(res.RoundLen)))
-		}
-		eng, runners, err := sim.NewDiagnosticCluster(sim.ClusterConfig{
+	type worker struct {
+		cl  *sim.DiagCluster
+		rng *rng.Pool
+		col *sim.Collector
+	}
+	times, err := campaign.RunPooled(workers, runs, func() (*worker, error) {
+		cl, err := sim.NewReusableDiagnosticCluster(sim.ClusterConfig{
 			N: n, RoundLen: res.RoundLen, Ls: adverseLs, PR: prCfg,
 		})
 		if err != nil {
 			return nil, err
 		}
-		col := sim.NewCollector()
+		return &worker{cl: cl, rng: src.NewPool(), col: sim.NewCollector()}, nil
+	}, func(w *worker, run int) ([]time.Duration, error) {
+		// Reset drops the previous run's disturbances before the pooled
+		// streams they hold are recycled and reseeded.
+		w.cl.Reset()
+		w.rng.Recycle()
+		w.col.Reset()
+		phase := time.Duration(0)
+		if randomPhase {
+			stream := w.rng.Stream(fmt.Sprintf("adverse-phase/run-%d", run))
+			phase = time.Duration(stream.Int63n(int64(res.RoundLen)))
+		}
+		eng, runners := w.cl.Eng, w.cl.Runners
+		col := w.col
 		for id := 1; id <= n; id++ {
 			col.HookDiag(id, runners[id])
 		}

@@ -30,6 +30,12 @@ go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/...
 echo "== go test -race -cpu=1,4 (campaign determinism) =="
 go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
 
+echo "== go test -race -cpu=1,4 (cluster reuse equivalence) =="
+go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
+
+echo "== go test (allocation ceilings) =="
+go test ./internal/core/ ./internal/sim/ -run 'Allocs'
+
 echo "== go test -tags ttdiag_invariants =="
 go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...
 
