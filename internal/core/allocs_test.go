@@ -7,24 +7,20 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"ttdiag/internal/invariant"
 )
 
-// TestProtocolStepAllocs pins the steady-state allocation budget of one
-// protocol execution: the retained per-round block (matrix cells, consistent
-// health vector and dissemination syndrome share one backing array) plus the
-// matrix row-header slice — everything else is reused across rounds.
-func TestProtocolStepAllocs(t *testing.T) {
-	if invariant.Enabled {
-		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
-	}
-	const n = 4
-	p, err := NewProtocol(Config{
+// stepAllocProtocol builds a steady-state protocol plus a step closure for
+// the allocation measurements below.
+func stepAllocProtocol(t *testing.T, n int, packed bool) func() {
+	t.Helper()
+	p, err := newProtocol(Config{
 		N: n, ID: 1, L: 0, SendCurrRound: true,
 		PR: PRConfig{PenaltyThreshold: 1 << 50, RewardThreshold: 1 << 50},
-	})
+	}, packed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,20 +31,83 @@ func TestProtocolStepAllocs(t *testing.T) {
 	validity := NewSyndrome(n, Healthy)
 	collision := func(int) Opinion { return Healthy }
 	round := 0
-	step := func() {
+	return func() {
 		in := RoundInput{Round: round, DMs: dms, Validity: validity, Collision: collision}
 		if _, err := p.Step(in); err != nil {
 			t.Fatal(err)
 		}
 		round++
 	}
-	// Warm past the diagnosis lag so every measured Step emits a full round
-	// output.
-	for i := 0; i < 16; i++ {
-		step()
+}
+
+// TestProtocolStepAllocs pins the steady-state allocation budget of one
+// protocol execution. On the packed path the entire retained round output —
+// matrix planes, consistent health vector and dissemination syndrome — is one
+// fixed-size block, so the budget is a single allocation per Step; the scalar
+// reference pays one more for the matrix row-header.
+func TestProtocolStepAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
 	}
-	const ceiling = 2
-	if avg := testing.AllocsPerRun(200, step); avg > ceiling {
-		t.Fatalf("Step allocates %.2f objects/round in steady state, ceiling %d", avg, ceiling)
+	cases := []struct {
+		name    string
+		n       int
+		packed  bool
+		ceiling float64
+	}{
+		{"packed_n4", 4, true, 1},
+		{"packed_n64", 64, true, 1},
+		{"scalar_n4", 4, false, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			step := stepAllocProtocol(t, tc.n, tc.packed)
+			// Warm past the diagnosis lag so every measured Step emits a
+			// full round output.
+			for i := 0; i < 16; i++ {
+				step()
+			}
+			if avg := testing.AllocsPerRun(200, step); avg > tc.ceiling {
+				t.Fatalf("Step allocates %.2f objects/round in steady state, ceiling %.0f", avg, tc.ceiling)
+			}
+		})
+	}
+}
+
+// TestVoteAllAllocs pins the word-parallel voting kernel and the packed row
+// write at zero allocations.
+func TestVoteAllAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
+	}
+	for _, n := range []int{4, 64} {
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			m, err := NewPackedMatrix(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := bitSyndromeAllHealthy(n)
+			for j := 1; j <= n; j++ {
+				if err := m.SetBitRow(j, row); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if _, err := m.VoteAll(); err != nil {
+					t.Fatal(err)
+				}
+			}); avg > 0 {
+				t.Fatalf("VoteAll allocates %.2f objects/op, want 0", avg)
+			}
+			j := 1
+			if avg := testing.AllocsPerRun(200, func() {
+				if err := m.SetBitRow(j, row); err != nil {
+					t.Fatal(err)
+				}
+				j = j%n + 1
+			}); avg > 0 {
+				t.Fatalf("SetBitRow allocates %.2f objects/op, want 0", avg)
+			}
+		})
 	}
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"ttdiag/internal/rng"
+)
+
+// benchSizes are the system widths tracked in BENCH_core.json.
+var benchSizes = []int{4, 16, 32, 64}
+
+// benchMatrices builds a packed matrix and a scalar-representation twin with
+// identical pseudo-random content (ε rows, erased entries, mixed opinions).
+func benchMatrices(b *testing.B, n int) (packed, scalar *Matrix) {
+	b.Helper()
+	packed, err := NewPackedMatrix(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scalar = newScalarMatrix(n)
+	st := rng.NewStream(int64(77 + n))
+	for j := 1; j <= n; j++ {
+		var row Syndrome
+		if !st.Bool(0.1) {
+			row = NewSyndrome(n, Faulty)
+			for i := 1; i <= n; i++ {
+				if st.Bool(0.1) {
+					row[i] = Erased
+				} else {
+					row[i] = Opinion(st.Intn(2))
+				}
+			}
+		}
+		if err := packed.SetRow(j, row); err != nil {
+			b.Fatal(err)
+		}
+		if err := scalar.SetRow(j, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return packed, scalar
+}
+
+// BenchmarkVoteAll measures the word-parallel bit-sliced voting kernel: the
+// consistent health vector for all N columns from one pass over the row
+// planes.
+func BenchmarkVoteAll(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			m, _ := benchMatrices(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.VoteAll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVoteAllScalar is the baseline the tentpole's >= 3x criterion is
+// measured against: the scalar per-column H-maj loop over the same matrix
+// content (O(N^2) byte operations).
+func BenchmarkVoteAllScalar(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			_, m := benchMatrices(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.voteAllScalar()
+			}
+		})
+	}
+}
+
+// BenchmarkMatrixSetRow compares installing one row as two word stores
+// (packed) against the (N+1)-entry copy of the scalar representation.
+func BenchmarkMatrixSetRow(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run(fmt.Sprintf("packed_n%d", n), func(b *testing.B) {
+			m, _ := benchMatrices(b, n)
+			row := bitSyndromeAllHealthy(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.SetBitRow(i%n+1, row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scalar_n%d", n), func(b *testing.B) {
+			_, m := benchMatrices(b, n)
+			row := NewSyndrome(n, Healthy)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.SetRow(i%n+1, row); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ttdiag/internal/rng"
+)
+
+// stepEquivCase is one protocol configuration of the packed-vs-scalar
+// differential test.
+type stepEquivCase struct {
+	name string
+	cfg  Config
+}
+
+func stepEquivCases() []stepEquivCase {
+	var cases []stepEquivCase
+	for _, n := range []int{2, 4, 7, 16, 33, 64} {
+		id := 1 + n/2
+		cases = append(cases,
+			stepEquivCase{
+				name: fmt.Sprintf("diag_n%d", n),
+				cfg: Config{
+					// L >= ID: the job runs after the node's slot.
+					N: n, ID: n / 2, L: n / 2, SendCurrRound: false,
+					Mode: ModeDiagnostic,
+					PR:   PRConfig{PenaltyThreshold: 2, RewardThreshold: 3},
+				},
+			},
+			stepEquivCase{
+				name: fmt.Sprintf("membership_n%d", n),
+				cfg: Config{
+					N: n, ID: id, L: id - 1, SendCurrRound: true, AllSendCurrRound: true,
+					Mode: ModeMembership, StartRound: 5,
+					PR: PRConfig{PenaltyThreshold: 1, RewardThreshold: 2, ReintegrationThreshold: 4},
+				},
+			},
+			stepEquivCase{
+				name: fmt.Sprintf("dynamic_n%d", n),
+				cfg: Config{
+					N: n, ID: id, Dynamic: true, SendCurrRound: true,
+					Mode: ModeDiagnostic,
+					PR:   PRConfig{PenaltyThreshold: 3, RewardThreshold: 2, ReintegrationThreshold: 3},
+				},
+			},
+		)
+	}
+	return cases
+}
+
+// randomStepInput draws one round input; both protocols receive the same
+// slices (Step copies everything in before mutating state).
+func randomStepInput(st *rng.Stream, n, round int) RoundInput {
+	in := RoundInput{
+		Round:    round,
+		DMs:      make([]Syndrome, n+1),
+		Validity: NewSyndrome(n, Healthy),
+		Collision: func(r int) Opinion {
+			if r%5 == 0 {
+				return Faulty
+			}
+			return Healthy
+		},
+	}
+	for j := 1; j <= n; j++ {
+		switch {
+		case st.Bool(0.15): // ε: nothing received
+			in.Validity[j] = Faulty
+		case st.Bool(0.05): // stressing an out-of-spec validity entry
+			in.Validity[j] = Erased
+			in.DMs[j] = randomSyndrome(st, n, 0.2)
+		default:
+			in.DMs[j] = randomSyndrome(st, n, 0.2)
+		}
+	}
+	return in
+}
+
+func diffRoundOutputs(t *testing.T, tag string, p, s RoundOutput) {
+	t.Helper()
+	fail := func(field string, pv, sv interface{}) {
+		t.Fatalf("%s: %s diverged: packed %v, scalar %v", tag, field, pv, sv)
+	}
+	if p.Round != s.Round {
+		fail("Round", p.Round, s.Round)
+	}
+	if p.DiagnosedRound != s.DiagnosedRound {
+		fail("DiagnosedRound", p.DiagnosedRound, s.DiagnosedRound)
+	}
+	if !bytes.Equal(p.Send, s.Send) {
+		fail("Send", p.Send, s.Send)
+	}
+	if !p.SendSyndrome.Equal(s.SendSyndrome) {
+		fail("SendSyndrome", p.SendSyndrome, s.SendSyndrome)
+	}
+	if (p.ConsHV == nil) != (s.ConsHV == nil) || (p.ConsHV != nil && !p.ConsHV.Equal(s.ConsHV)) {
+		fail("ConsHV", p.ConsHV, s.ConsHV)
+	}
+	if p.ConsHVBits != s.ConsHVBits {
+		fail("ConsHVBits", p.ConsHVBits, s.ConsHVBits)
+	}
+	if (p.Matrix == nil) != (s.Matrix == nil) {
+		fail("Matrix presence", p.Matrix != nil, s.Matrix != nil)
+	}
+	if p.Matrix != nil && p.Matrix.String() != s.Matrix.String() {
+		fail("Matrix", "\n"+p.Matrix.String(), "\n"+s.Matrix.String())
+	}
+	if !intsEqual(p.Isolated, s.Isolated) {
+		fail("Isolated", p.Isolated, s.Isolated)
+	}
+	if !intsEqual(p.Reintegrated, s.Reintegrated) {
+		fail("Reintegrated", p.Reintegrated, s.Reintegrated)
+	}
+	if !intsEqual(p.Accused, s.Accused) {
+		fail("Accused", p.Accused, s.Accused)
+	}
+	if len(p.Active) != len(s.Active) {
+		fail("Active length", len(p.Active), len(s.Active))
+	}
+	for j := range p.Active {
+		if p.Active[j] != s.Active[j] {
+			fail(fmt.Sprintf("Active[%d]", j), p.Active[j], s.Active[j])
+		}
+	}
+	if p.ActiveMask != s.ActiveMask {
+		fail("ActiveMask", p.ActiveMask, s.ActiveMask)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPackedScalarStepEquivalence runs the bit-plane and scalar-reference
+// implementations of the protocol side by side on identical random inputs —
+// ε rows, erased entries, asymmetric malicious opinions, accusation cascades,
+// isolations and reintegrations — and requires every RoundOutput field, the
+// rendered diagnostic matrix and the snapshot JSON to agree byte for byte on
+// every round. A snapshot/restore round-trip mid-run must resume identically.
+func TestPackedScalarStepEquivalence(t *testing.T) {
+	const rounds = 48
+	for _, tc := range stepEquivCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			packed, err := newProtocol(tc.cfg, true)
+			if err != nil {
+				t.Fatalf("packed: %v", err)
+			}
+			scalar, err := newProtocol(tc.cfg, false)
+			if err != nil {
+				t.Fatalf("scalar: %v", err)
+			}
+			if !packed.Packed() || scalar.Packed() {
+				t.Fatalf("representation selection broken: packed=%v scalar=%v", packed.Packed(), scalar.Packed())
+			}
+			st := rng.NewStream(int64(1000 + tc.cfg.N + int(tc.cfg.Mode)*7))
+			var restored *Protocol
+			for r := 0; r < rounds; r++ {
+				round := tc.cfg.StartRound + r
+				in := randomStepInput(st, tc.cfg.N, round)
+				pOut, pErr := packed.Step(in)
+				sOut, sErr := scalar.Step(in)
+				if (pErr == nil) != (sErr == nil) {
+					t.Fatalf("round %d: error divergence: packed %v, scalar %v", round, pErr, sErr)
+				}
+				if pErr != nil {
+					continue
+				}
+				diffRoundOutputs(t, fmt.Sprintf("round %d", round), pOut, sOut)
+				if restored != nil {
+					rOut, rErr := restored.Step(in)
+					if rErr != nil {
+						t.Fatalf("round %d: restored: %v", round, rErr)
+					}
+					diffRoundOutputs(t, fmt.Sprintf("round %d (restored)", round), rOut, sOut)
+				}
+				pSnap, err := packed.Snapshot()
+				if err != nil {
+					t.Fatalf("round %d: packed snapshot: %v", round, err)
+				}
+				sSnap, err := scalar.Snapshot()
+				if err != nil {
+					t.Fatalf("round %d: scalar snapshot: %v", round, err)
+				}
+				if !bytes.Equal(pSnap, sSnap) {
+					t.Fatalf("round %d: snapshot JSON diverged:\npacked %s\nscalar %s", round, pSnap, sSnap)
+				}
+				if r == rounds/2 {
+					restored, err = RestoreProtocol(pSnap)
+					if err != nil {
+						t.Fatalf("round %d: restore: %v", round, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPackedStepRejectsWideSystems pins the StepPacked bound error and the
+// constructor's automatic representation choice beyond MaxPackedN.
+func TestPackedStepRejectsWideSystems(t *testing.T) {
+	cfg := Config{N: MaxPackedN + 1, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}}
+	p, err := NewProtocol(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Packed() {
+		t.Fatalf("NewProtocol(%d nodes) must select the scalar representation", cfg.N)
+	}
+	if _, err := p.StepPacked(PackedRoundInput{Round: 0}); err == nil {
+		t.Fatalf("StepPacked must fail on a scalar-representation protocol")
+	}
+}

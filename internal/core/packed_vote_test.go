@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ttdiag/internal/rng"
+)
+
+func TestNewPackedMatrixBound(t *testing.T) {
+	if _, err := NewPackedMatrix(MaxPackedN + 1); err == nil {
+		t.Fatalf("NewPackedMatrix accepted %d nodes", MaxPackedN+1)
+	} else if !strings.Contains(err.Error(), "scalar") {
+		t.Fatalf("bound error should point at the scalar fallback, got: %v", err)
+	}
+	m, err := NewPackedMatrix(MaxPackedN)
+	if err != nil {
+		t.Fatalf("NewPackedMatrix(%d): %v", MaxPackedN, err)
+	}
+	if !m.Packed() {
+		t.Fatalf("NewPackedMatrix returned a scalar matrix")
+	}
+	if got := NewMatrix(MaxPackedN); !got.Packed() {
+		t.Fatalf("NewMatrix(%d) should select the packed representation", MaxPackedN)
+	}
+	// Beyond the bound NewMatrix transparently serves the scalar reference.
+	wide := NewMatrix(MaxPackedN + 1)
+	if wide.Packed() {
+		t.Fatalf("NewMatrix(%d) should fall back to scalar", MaxPackedN+1)
+	}
+	if err := wide.SetRow(1, NewSyndrome(MaxPackedN+1, Healthy)); err != nil {
+		t.Fatalf("scalar SetRow: %v", err)
+	}
+	if v, ok := wide.Vote(2); !ok || v != Healthy {
+		t.Fatalf("scalar Vote = %v/%v, want Healthy/true", v, ok)
+	}
+	if err := wide.SetBitRow(1, BitSyndrome{}); err == nil {
+		t.Fatalf("SetBitRow must fail on a scalar matrix")
+	}
+	if _, err := wide.VoteAll(); err == nil {
+		t.Fatalf("VoteAll must fail beyond MaxPackedN")
+	}
+}
+
+// fillRandomMatrix installs the same random content — ε rows, ties, erased
+// entries, asymmetric malicious opinions — into every given matrix.
+func fillRandomMatrix(t *testing.T, st *rng.Stream, n int, ms ...*Matrix) {
+	t.Helper()
+	for j := 1; j <= n; j++ {
+		var row Syndrome
+		if !st.Bool(0.2) { // 20% ε rows
+			row = randomSyndrome(st, n, 0.25)
+		}
+		for _, m := range ms {
+			if err := m.SetRow(j, row); err != nil {
+				t.Fatalf("SetRow(%d): %v", j, err)
+			}
+		}
+	}
+}
+
+// TestVoteAllMatchesScalarReference is the seeded-corpus differential test of
+// the word-parallel kernel: at every N in 1..MaxPackedN, random matrices must
+// vote bit-identically to the scalar per-column reference, both through the
+// packed matrix's own per-column Vote and through a scalar-representation
+// twin of the same content.
+func TestVoteAllMatchesScalarReference(t *testing.T) {
+	st := rng.NewStream(21)
+	for n := 1; n <= MaxPackedN; n++ {
+		trials := 40
+		if n > 16 {
+			trials = 15
+		}
+		for trial := 0; trial < trials; trial++ {
+			packed, err := NewPackedMatrix(n)
+			if err != nil {
+				t.Fatalf("NewPackedMatrix(%d): %v", n, err)
+			}
+			scalar := newScalarMatrix(n)
+			fillRandomMatrix(t, st, n, packed, scalar)
+
+			got, err := packed.VoteAll()
+			if err != nil {
+				t.Fatalf("n=%d: VoteAll: %v", n, err)
+			}
+			if want := scalar.voteAllScalar(); got != want {
+				t.Fatalf("n=%d trial %d: VoteAll = %+v, want %+v\n%s", n, trial, got, want, packed)
+			}
+			// Per-column agreement on both representations.
+			for j := 1; j <= n; j++ {
+				pv, pok := packed.Vote(j)
+				sv, sok := scalar.Vote(j)
+				if pok != sok || (pok && pv != sv) {
+					t.Fatalf("n=%d col %d: packed Vote %v/%v, scalar %v/%v", n, j, pv, pok, sv, sok)
+				}
+				if got.Get(j) == Erased && pok {
+					t.Fatalf("n=%d col %d: VoteAll ⊥ but Vote decided", n, j)
+				}
+				if !pok {
+					continue
+				}
+				if v := got.Get(j); v != pv {
+					t.Fatalf("n=%d col %d: VoteAll %v, Vote %v", n, j, v, pv)
+				}
+			}
+		}
+	}
+}
+
+// TestVoteAllWorstCase pins the kernel's edge regimes directly: the all-rows
+// all-Faulty matrix (maximal counter values at N = 64), exact ties, and the
+// empty matrix.
+func TestVoteAllWorstCase(t *testing.T) {
+	n := MaxPackedN
+	m, err := NewPackedMatrix(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.VoteAll(); got != (BitSyndrome{}) {
+		t.Fatalf("empty matrix must vote ⊥ everywhere, got %+v", got)
+	}
+	allFaulty := NewSyndrome(n, Faulty)
+	for j := 1; j <= n; j++ {
+		if err := m.SetRow(j, allFaulty); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := m.VoteAll()
+	if want := (BitSyndrome{Op: 0, Known: PlaneMask(n)}); got != want {
+		t.Fatalf("all-faulty matrix: VoteAll = %+v, want %+v", got, want)
+	}
+	// Exact tie on every column: half the rows say Healthy, half Faulty.
+	// The self-opinion mask removes one vote per column, so use opinions
+	// that keep the tally an exact tie regardless: 2 rows, opposite votes.
+	tie, err := NewPackedMatrix(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tie.SetRow(1, Syndrome{Erased, Healthy, Healthy, Healthy, Healthy}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tie.SetRow(2, Syndrome{Erased, Faulty, Faulty, Faulty, Faulty}); err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := tie.VoteAll()
+	// Column 1 sees the single Faulty vote of row 2, column 2 the single
+	// Healthy vote of row 1, and columns 3 and 4 a genuine 1-1 tie, which
+	// Eqn. 1 resolves to Healthy.
+	if want := "0111"; tv.String(4) != want {
+		t.Fatalf("tie matrix: VoteAll = %s, want %s", tv.String(4), want)
+	}
+}
+
+// FuzzVoteAll is the go-fuzz harness of the differential test: arbitrary row
+// bytes (two planes per row) against the scalar reference at an arbitrary N.
+// The checked-in corpus below doubles as a regular seeded test in CI.
+func FuzzVoteAll(f *testing.F) {
+	f.Add(uint8(4), []byte{0xff, 0x0f, 0x03, 0x0c, 0x00, 0x00, 0x05, 0x0a})
+	f.Add(uint8(1), []byte{0x01, 0x01})
+	f.Add(uint8(64), []byte{0xaa, 0x55, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66})
+	f.Add(uint8(17), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw uint8, data []byte) {
+		n := int(nRaw)%MaxPackedN + 1
+		packed, err := NewPackedMatrix(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalar := newScalarMatrix(n)
+		// Consume 16 bytes per row (op word, known word); rows beyond the
+		// data stay ε.
+		for j := 1; j <= n && len(data) >= 16; j++ {
+			var op, know uint64
+			for i := 0; i < 8; i++ {
+				op |= uint64(data[i]) << uint(8*i)
+				know |= uint64(data[8+i]) << uint(8*i)
+			}
+			data = data[16:]
+			row := BitSyndrome{Op: op, Known: know}.normalized(PlaneMask(n))
+			if err := packed.SetBitRow(j, row); err != nil {
+				t.Fatal(err)
+			}
+			if err := scalar.SetRow(j, row.Unpack(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := packed.VoteAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := scalar.voteAllScalar(); got != want {
+			t.Fatalf("n=%d: VoteAll = %+v, want %+v\n%s", n, got, want, packed)
+		}
+	})
+}

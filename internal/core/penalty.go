@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PRConfig tunes the penalty/reward algorithm (Alg. 2 and Sec. 9).
 type PRConfig struct {
@@ -66,6 +69,16 @@ type PenaltyReward struct {
 	// observe counts consecutive fault-free rounds of isolated nodes for
 	// the optional reintegration extension.
 	observe []int64
+	// masked enables the word-mask bookkeeping below (n <= MaxPackedN).
+	masked bool
+	// activeMask mirrors active[] as a bit mask (bit j-1 = node j).
+	activeMask uint64
+	// attention marks the nodes for which a Healthy verdict is not a no-op:
+	// active nodes paying off a penalty (rewards must advance) and isolated
+	// nodes under reintegration observation. Together with the round's
+	// faulty columns it bounds the masked update to the nodes whose
+	// counters can actually move — zero in the fault-free steady state.
+	attention uint64
 }
 
 // NewPenaltyReward builds the algorithm state for an n-node system; all
@@ -88,6 +101,10 @@ func NewPenaltyReward(n int, cfg PRConfig) (*PenaltyReward, error) {
 	for j := 1; j <= n; j++ {
 		pr.active[j] = true
 	}
+	pr.masked = n <= MaxPackedN
+	if pr.masked {
+		pr.activeMask = PlaneMask(n)
+	}
 	return pr, nil
 }
 
@@ -100,6 +117,10 @@ func (pr *PenaltyReward) Reset() {
 		pr.observe[j] = 0
 		pr.active[j] = true
 	}
+	if pr.masked {
+		pr.activeMask = PlaneMask(pr.n)
+	}
+	pr.attention = 0
 }
 
 // ResetConfig swaps in a new tuning configuration and resets all counters.
@@ -142,6 +163,71 @@ func (pr *PenaltyReward) UpdateNode(i int, health Opinion) (isolated, reintegrat
 	if i < 1 || i > pr.n {
 		return false, false
 	}
+	isolated, reintegrated = pr.updateNode(i, health)
+	pr.syncMask(i)
+	return isolated, reintegrated
+}
+
+// updateMasked is Update on a packed health vector: faultyMask marks the
+// columns the consistent health vector holds Faulty (every other column is
+// Healthy — the fallback of Alg. 1 line 14 leaves no ⊥ entries). Only the
+// faulty columns and the attention set are visited; for every other node the
+// verdict is Healthy and the update is a no-op by construction (active with
+// a zero penalty, or isolated without the reintegration extension).
+func (pr *PenaltyReward) updateMasked(faultyMask uint64) (isolated, reintegrated []int) {
+	for rem := faultyMask | pr.attention; rem != 0; rem &= rem - 1 {
+		i := bits.TrailingZeros64(rem) + 1
+		health := Healthy
+		if faultyMask&(rem&-rem) != 0 {
+			health = Faulty
+		}
+		iso, reint := pr.updateNode(i, health)
+		pr.syncMask(i)
+		if iso {
+			isolated = append(isolated, i)
+		}
+		if reint {
+			reintegrated = append(reintegrated, i)
+		}
+	}
+	return isolated, reintegrated
+}
+
+// syncMask refreshes node i's bits in activeMask and attention after a
+// counter update.
+func (pr *PenaltyReward) syncMask(i int) {
+	if !pr.masked {
+		return
+	}
+	bit := uint64(1) << uint(i-1)
+	if pr.active[i] {
+		pr.activeMask |= bit
+	} else {
+		pr.activeMask &^= bit
+	}
+	needs := !pr.active[i] && pr.cfg.ReintegrationThreshold > 0 ||
+		pr.active[i] && pr.penalties[i] > 0
+	if needs {
+		pr.attention |= bit
+	} else {
+		pr.attention &^= bit
+	}
+}
+
+// rebuildMasks recomputes activeMask and attention from the counter slices
+// (used after a snapshot restore replaces them).
+func (pr *PenaltyReward) rebuildMasks() {
+	pr.activeMask, pr.attention = 0, 0
+	if !pr.masked {
+		return
+	}
+	for i := 1; i <= pr.n; i++ {
+		pr.syncMask(i)
+	}
+}
+
+// updateNode is UpdateNode without the mask bookkeeping.
+func (pr *PenaltyReward) updateNode(i int, health Opinion) (isolated, reintegrated bool) {
 	if !pr.active[i] {
 		// Extension: observation of isolated nodes.
 		if pr.cfg.ReintegrationThreshold > 0 {
@@ -183,6 +269,12 @@ func (pr *PenaltyReward) UpdateNode(i int, health Opinion) (isolated, reintegrat
 // Active returns a copy of the activity vector (1-based).
 func (pr *PenaltyReward) Active() []bool {
 	return append([]bool(nil), pr.active...)
+}
+
+// ActiveMask returns the activity vector as a bit mask (bit j-1 = node j
+// active) for systems within the packed bound; zero beyond it.
+func (pr *PenaltyReward) ActiveMask() uint64 {
+	return pr.activeMask
 }
 
 // IsActive reports whether node j is currently active (not isolated).

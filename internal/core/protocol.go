@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ttdiag/internal/invariant"
 )
@@ -134,6 +135,31 @@ type RoundInput struct {
 	Collision CollisionFn
 }
 
+// PackedRoundInput is the plane-form round input for systems within the
+// packed bound (N <= MaxPackedN): what RoundInput carries as slices arrives
+// as bit masks and two-word syndromes, so the hot path never touches
+// per-entry byte vectors. Rows[j] is read only when Present bit j-1 is set
+// (the clear bit is the ε case), and Validity carries the validity bits
+// (Healthy = Op bit set; all entries Known in a well-formed input). Rows are
+// copied by value — the caller keeps ownership of the slice and may reuse it
+// immediately after the call.
+type PackedRoundInput struct {
+	// Round is the absolute round number; it must advance by exactly one
+	// per step.
+	Round int
+	// Rows[j] is the packed decoded diagnostic message of interface
+	// variable j (1-based), meaningful iff Present bit j-1 is set.
+	Rows []BitSyndrome
+	// Present marks the interface variables holding a decodable valid
+	// payload (bit j-1 = variable j).
+	Present uint64
+	// Validity packs the validity bits of the interface variables.
+	Validity BitSyndrome
+	// Collision resolves self-diagnosis when no external syndrome is
+	// available (Lemma 3). A nil func defaults to Healthy.
+	Collision CollisionFn
+}
+
 // RoundOutput is the result of one diagnostic-job execution.
 type RoundOutput struct {
 	// Round echoes the executed round.
@@ -148,6 +174,10 @@ type RoundOutput struct {
 	// ConsHV is the consistent health vector for DiagnosedRound, or nil
 	// while the protocol pipeline is still warming up.
 	ConsHV Syndrome
+	// ConsHVBits is the packed form of ConsHV for systems within the packed
+	// bound (every entry Known once ConsHV is non-nil); the zero value
+	// during warm-up and for N > MaxPackedN.
+	ConsHVBits BitSyndrome
 	// DiagnosedRound is the absolute round ConsHV refers to (Round-2 or
 	// Round-3 per Lemma 1); -1 when ConsHV is nil.
 	DiagnosedRound int
@@ -162,6 +192,10 @@ type RoundOutput struct {
 	// Active is the activity vector after the update (1-based). Like Send it
 	// is ring-buffered: valid for the next three Steps, then overwritten.
 	Active []bool
+	// ActiveMask is the packed activity vector (bit j-1 = node j active) for
+	// systems within the packed bound; zero beyond it. Unlike Active it is a
+	// value, so it is retain-safe.
+	ActiveMask uint64
 	// Accused lists the minority accusations raised in this round
 	// (membership mode only).
 	Accused []int
@@ -199,8 +233,112 @@ func newAlignBuf(n int) alignBuf {
 	return b
 }
 
+// alignBufP is the packed form of alignBuf: per-variable two-word syndromes
+// plus one presence mask instead of byte vectors and a bool slice. rows[j]
+// is meaningful only when set bit j-1 holds.
+type alignBufP struct {
+	rows []BitSyndrome
+	set  uint64
+	ls   BitSyndrome
+	al   BitSyndrome
+}
+
+func newAlignBufP(n int) alignBufP {
+	b := alignBufP{rows: make([]BitSyndrome, n+1)}
+	hw := bitSyndromeAllHealthy(n)
+	for j := 1; j <= n; j++ {
+		b.rows[j] = hw
+	}
+	b.set = PlaneMask(n)
+	b.ls, b.al = hw, hw
+	return b
+}
+
+func (b *alignBufP) reset(n int) {
+	hw := bitSyndromeAllHealthy(n)
+	for j := 1; j <= n; j++ {
+		b.rows[j] = hw
+	}
+	b.set = PlaneMask(n)
+	b.ls, b.al = hw, hw
+}
+
+// The packedBlock tiers are the per-round retained blocks of the packed hot
+// path: the diagnostic matrix header, its two row planes, and the scalar
+// consHV/outSyn views of RoundOutput all live in one allocation. Tiering at
+// powers of two keeps the footprint close to the system size (the paper's
+// experiments run at N <= 16) while still costing exactly one allocation per
+// warm round at any width.
+type packedBlock4 struct {
+	m      Matrix
+	planes [2 * 5]uint64
+	syn    [2 * 5]Opinion
+}
+
+type packedBlock8 struct {
+	m      Matrix
+	planes [2 * 9]uint64
+	syn    [2 * 9]Opinion
+}
+
+type packedBlock16 struct {
+	m      Matrix
+	planes [2 * 17]uint64
+	syn    [2 * 17]Opinion
+}
+
+type packedBlock32 struct {
+	m      Matrix
+	planes [2 * 33]uint64
+	syn    [2 * 33]Opinion
+}
+
+type packedBlock64 struct {
+	m      Matrix
+	planes [2 * (MaxPackedN + 1)]uint64
+	syn    [2 * (MaxPackedN + 1)]Opinion
+}
+
+// newPackedRoundBlock allocates the single retained block of one packed
+// round and carves it into the matrix and the two output syndromes.
+func newPackedRoundBlock(n int) (m *Matrix, consHV, outSyn Syndrome) {
+	var planes []uint64
+	var syn []Opinion
+	switch {
+	case n <= 4:
+		b := new(packedBlock4)
+		m, planes, syn = &b.m, b.planes[:], b.syn[:]
+	case n <= 8:
+		b := new(packedBlock8)
+		m, planes, syn = &b.m, b.planes[:], b.syn[:]
+	case n <= 16:
+		b := new(packedBlock16)
+		m, planes, syn = &b.m, b.planes[:], b.syn[:]
+	case n <= 32:
+		b := new(packedBlock32)
+		m, planes, syn = &b.m, b.planes[:], b.syn[:]
+	default:
+		b := new(packedBlock64)
+		m, planes, syn = &b.m, b.planes[:], b.syn[:]
+	}
+	w := n + 1
+	m.n = n
+	initPackedMatrix(m, planes[:2*w])
+	consHV = Syndrome(syn[0:w:w])
+	outSyn = Syndrome(syn[w : 2*w : 2*w])
+	consHV[0], outSyn[0] = Erased, Erased
+	return m, consHV, outSyn
+}
+
 // Protocol is the per-node diagnostic job state machine (Alg. 1). Create one
 // per node with NewProtocol and call Step exactly once per TDMA round.
+//
+// Systems within the packed bound (N <= MaxPackedN) run the bit-plane hot
+// path: alignment state, matrix rows, voting and the activity update all
+// operate on machine words, and StepPacked accepts the round input in packed
+// form directly. Step remains fully supported (it packs its scalar input and
+// delegates), wider systems transparently use the scalar reference path, and
+// both paths produce identical outputs and snapshot bytes.
 //
 // Buffer ownership: Step copies its inputs into protocol-owned scratch
 // (callers may reuse RoundInput slices immediately). The analysis results in
@@ -215,36 +353,61 @@ type Protocol struct {
 	pr    *PenaltyReward
 	steps int
 
-	// bufs double-buffers the read/send-alignment state: round k reads
-	// bufs[k%2] (written in round k-1) and writes bufs[(k+1)%2].
-	bufs [2]alignBuf
-	// alDM is the scratch aligned-DM view of the current round. Its entries
-	// alias the previous round's buffer or the caller's input and never
-	// escape: the diagnostic matrix copies every row it is given.
+	// packed selects the bit-plane hot path; set at construction for
+	// N <= MaxPackedN (tests force it off to exercise the scalar reference).
+	packed bool
+
+	// bufs double-buffers the read/send-alignment state of the scalar path:
+	// round k reads bufs[k%2] (written in round k-1) and writes
+	// bufs[(k+1)%2]. pbufs is the packed equivalent; only the representation
+	// in use is allocated.
+	bufs  [2]alignBuf
+	pbufs [2]alignBufP
+	// alDM is the scalar scratch aligned-DM view of the current round. Its
+	// entries alias the previous round's buffer or the caller's input and
+	// never escape: the diagnostic matrix copies every row it is given.
 	alDM []Syndrome
+	// inRows is the packed path's scratch for Step's scalar-to-packed input
+	// conversion (StepPacked callers provide their own rows).
+	inRows []BitSyndrome
 	// lastSent / prevSent are the dissemination payloads of the previous
 	// two rounds; the one physically transmitted in round k-1 is this
-	// node's own row of the diagnostic matrix.
-	lastSent Syndrome
-	prevSent Syndrome
+	// node's own row of the diagnostic matrix. The packed path keeps the
+	// plane forms alongside (the scalar forms stay current for snapshots).
+	lastSent  Syndrome
+	prevSent  Syndrome
+	lastSentP BitSyndrome
+	prevSentP BitSyndrome
 	// sendBufs and activeBufs are the rings backing RoundOutput.Send and
 	// RoundOutput.Active: round k writes slot k%4, so an output's buffers
 	// survive the next three Steps before being reused.
 	sendBufs   [4][]byte
 	activeBufs [4][]bool
 	// accuse holds the remaining dissemination writes each pending minority
-	// accusation is carried for (membership mode).
-	accuse []int
+	// accusation is carried for (membership mode); accuseMask mirrors its
+	// non-zero entries as a bit mask on the packed path.
+	accuse     []int
+	accuseMask uint64
 	// accusedAge[j] counts the rounds since an accusation against j was last
-	// raised (saturating); it drives the accusationSkew guard.
+	// raised (saturating); it drives the accusationSkew guard. agingMask
+	// mirrors the non-saturated entries (age <= accusationSkew) on the
+	// packed path so the per-round aging touches only live counters.
 	accusedAge []int
+	agingMask  uint64
 	// invPrevActive is the previous round's activity vector, kept only by
 	// ttdiag_invariants builds for the monotonicity check.
 	invPrevActive []bool
 }
 
-// NewProtocol builds the diagnostic job for one node.
+// NewProtocol builds the diagnostic job for one node. Systems with
+// N <= MaxPackedN automatically run the bit-packed hot path.
 func NewProtocol(cfg Config) (*Protocol, error) {
+	return newProtocol(cfg, cfg.N <= MaxPackedN)
+}
+
+// newProtocol is NewProtocol with an explicit representation choice; tests
+// force packed off to run the scalar reference on packed-eligible sizes.
+func newProtocol(cfg Config, packed bool) (*Protocol, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = ModeDiagnostic
 	}
@@ -258,12 +421,20 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 	p := &Protocol{
 		cfg:        cfg,
 		pr:         pr,
-		bufs:       [2]alignBuf{newAlignBuf(cfg.N), newAlignBuf(cfg.N)},
-		alDM:       make([]Syndrome, cfg.N+1),
+		packed:     packed,
 		lastSent:   NewSyndrome(cfg.N, Healthy),
 		prevSent:   NewSyndrome(cfg.N, Healthy),
 		accuse:     make([]int, cfg.N+1),
 		accusedAge: make([]int, cfg.N+1),
+	}
+	if packed {
+		p.pbufs = [2]alignBufP{newAlignBufP(cfg.N), newAlignBufP(cfg.N)}
+		p.inRows = make([]BitSyndrome, cfg.N+1)
+		p.lastSentP = bitSyndromeAllHealthy(cfg.N)
+		p.prevSentP = bitSyndromeAllHealthy(cfg.N)
+	} else {
+		p.bufs = [2]alignBuf{newAlignBuf(cfg.N), newAlignBuf(cfg.N)}
+		p.alDM = make([]Syndrome, cfg.N+1)
 	}
 	for i := range p.sendBufs {
 		p.sendBufs[i] = make([]byte, EncodedLen(cfg.N))
@@ -283,15 +454,22 @@ func NewProtocol(cfg Config) (*Protocol, error) {
 // Active follow the usual ring-buffer window.
 func (p *Protocol) Reset() {
 	n := p.cfg.N
-	for b := range p.bufs {
-		buf := &p.bufs[b]
-		for j := 1; j <= n; j++ {
-			buf.set[j] = true
-			for m := 1; m <= n; m++ {
-				buf.dm[j][m] = Healthy
+	if p.packed {
+		p.pbufs[0].reset(n)
+		p.pbufs[1].reset(n)
+		p.lastSentP = bitSyndromeAllHealthy(n)
+		p.prevSentP = bitSyndromeAllHealthy(n)
+	} else {
+		for b := range p.bufs {
+			buf := &p.bufs[b]
+			for j := 1; j <= n; j++ {
+				buf.set[j] = true
+				for m := 1; m <= n; m++ {
+					buf.dm[j][m] = Healthy
+				}
+				buf.ls[j] = Healthy
+				buf.al[j] = Healthy
 			}
-			buf.ls[j] = Healthy
-			buf.al[j] = Healthy
 		}
 	}
 	// lastSent/prevSent alias retain-safe per-round blocks of the previous
@@ -302,6 +480,7 @@ func (p *Protocol) Reset() {
 		p.accuse[j] = 0
 		p.accusedAge[j] = accusationSkew + 1
 	}
+	p.accuseMask, p.agingMask = 0, 0
 	p.invPrevActive = nil
 	p.steps = 0
 	p.pr.Reset()
@@ -332,10 +511,18 @@ func (p *Protocol) ResetConfig(cfg Config) error {
 // Config returns the protocol's configuration.
 func (p *Protocol) Config() Config { return p.cfg }
 
+// Packed reports whether the protocol runs the bit-packed hot path (always
+// the case for N <= MaxPackedN instances built with NewProtocol).
+func (p *Protocol) Packed() bool { return p.packed }
+
 // PenaltyReward exposes the node's Alg. 2 state for inspection.
 func (p *Protocol) PenaltyReward() *PenaltyReward { return p.pr }
 
-// Step executes the diagnostic job for one round.
+// Step executes the diagnostic job for one round. Within the packed bound it
+// converts the input to plane form and runs the packed path (callers that
+// already hold packed observations use StepPacked and skip the conversion);
+// entries of DMs/Validity outside {Faulty, Healthy, Erased} are normalised
+// to ε there, which Eqn. 1's tally treats identically.
 func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	n := p.cfg.N
 	if want := p.cfg.StartRound + p.steps; in.Round != want {
@@ -352,6 +539,232 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 			return RoundOutput{}, fmt.Errorf("core: matrix row %d has %d entries, want %d", j, in.DMs[j].N(), n)
 		}
 	}
+	if !p.packed {
+		return p.stepScalar(in)
+	}
+	var present uint64
+	for j := 1; j <= n; j++ {
+		if in.DMs[j] != nil {
+			present |= 1 << uint(j-1)
+			p.inRows[j] = packSyndrome(in.DMs[j])
+		}
+	}
+	return p.stepPacked(PackedRoundInput{
+		Round:     in.Round,
+		Rows:      p.inRows,
+		Present:   present,
+		Validity:  packSyndrome(in.Validity),
+		Collision: in.Collision,
+	})
+}
+
+// StepPacked executes the diagnostic job for one round on packed
+// observations, the zero-conversion entry of the hot path. It fails on
+// instances running the scalar representation (N > MaxPackedN).
+func (p *Protocol) StepPacked(in PackedRoundInput) (RoundOutput, error) {
+	if !p.packed {
+		return RoundOutput{}, fmt.Errorf("core: node %d: StepPacked needs the packed representation (N = %d > %d); use Step", p.cfg.ID, p.cfg.N, MaxPackedN)
+	}
+	if want := p.cfg.StartRound + p.steps; in.Round != want {
+		return RoundOutput{}, fmt.Errorf("core: node %d: Step round %d, want %d", p.cfg.ID, in.Round, want)
+	}
+	if len(in.Rows) != p.cfg.N+1 {
+		return RoundOutput{}, fmt.Errorf("core: node %d: Rows has %d entries, want %d", p.cfg.ID, len(in.Rows), p.cfg.N+1)
+	}
+	return p.stepPacked(in)
+}
+
+// stepPacked is the bit-plane diagnostic job: every phase of Alg. 1 operates
+// on word masks, and the only allocation is the round's retained output
+// block. It is step-for-step equivalent to stepScalar (pinned by the
+// differential tests in packed_equivalence_test.go).
+func (p *Protocol) stepPacked(in PackedRoundInput) (RoundOutput, error) {
+	n := p.cfg.N
+	all := PlaneMask(n)
+	present := in.Present & all
+	validity := in.Validity.normalized(all)
+
+	// rd was written in the previous round; wr becomes next round's rd.
+	rd := &p.pbufs[p.steps&1]
+	wr := &p.pbufs[(p.steps+1)&1]
+
+	// The round's entire indefinitely-retainable output — matrix planes,
+	// consistent health vector and outgoing syndrome — lives in one fixed-
+	// size block, so the steady-state warm path costs exactly one allocation
+	// per Step (Send and Active come from the protocol's buffer rings).
+	matrix, consHV, outSyn := newPackedRoundBlock(n)
+
+	// Phases 1 and 3 — local detection and aggregation (read alignment,
+	// Alg. 1 lines 1-6): entries 1..l_i come from the previous read, the
+	// rest from the current one, so every aligned value refers to a message
+	// sent in round k-1. Under dynamic scheduling the read point is pinned
+	// to round start (l = 0). On planes the split is two mask merges.
+	l := p.cfg.L
+	if p.cfg.Dynamic {
+		l = 0
+	}
+	low := PlaneMask(l)
+	hi := all &^ low
+	alSet := (rd.set & low) | (present & hi)
+	alLS := BitSyndrome{
+		Op:    (rd.ls.Op & low) | (validity.Op & hi),
+		Known: (rd.ls.Known & low) | (validity.Known & hi),
+	}
+	wr.al = alLS
+
+	out := RoundOutput{Round: in.Round, DiagnosedRound: -1}
+
+	// Phase 4 — analysis (Alg. 1 lines 11-14). In membership mode this runs
+	// before dissemination so that minority accusations can be added to the
+	// outgoing syndrome; in diagnostic mode the ordering is unobservable.
+	warm := p.steps >= p.cfg.Lag()
+	if warm {
+		self := uint64(1) << uint(p.cfg.ID-1)
+		rowSet := (alSet &^ self) | self
+		for rem := rowSet; rem != 0; rem &= rem - 1 {
+			j := bits.TrailingZeros64(rem) + 1
+			var row BitSyndrome
+			switch {
+			case j == p.cfg.ID:
+				// This node's own row is its locally buffered copy of the
+				// syndrome it physically transmitted in round k-1 — available
+				// even when the transmission itself failed (Lemma 3).
+				row = p.ownRowP()
+			case j <= l:
+				row = rd.rows[j]
+			default:
+				row = in.Rows[j].normalized(all)
+			}
+			matrix.op[j] = row.Op
+			matrix.know[j] = row.Known
+		}
+		matrix.rowSet = rowSet
+
+		consBits := matrix.voteAllPlanes()
+		diagRound := in.Round - p.cfg.Lag()
+		// H-maj returned ⊥ on the columns outside consBits.Known: at least
+		// N-1 nodes could not send their syndromes. Only self-diagnosis can
+		// be left undecided, and it falls back to the local collision
+		// detector (Alg. 1 line 14), queried in ascending column order like
+		// the scalar path.
+		for rem := all &^ consBits.Known; rem != 0; rem &= rem - 1 {
+			bit := rem & -rem
+			if p.collisionVerdict(in.Collision, diagRound) == Healthy {
+				consBits.Op |= bit
+			}
+			consBits.Known |= bit
+		}
+		consBits.UnpackInto(consHV)
+		out.ConsHV = consHV
+		out.ConsHVBits = consBits
+		out.DiagnosedRound = diagRound
+		out.Matrix = matrix
+
+		if p.cfg.Mode == ModeMembership {
+			// Entries whose health-vector value may still be driven by a
+			// recent minority accusation are skipped, as is the node's own
+			// entry once it sees itself convicted (it is the accused party
+			// and must not counter-accuse rows carrying the other clique's
+			// verdict) — see accusationSkew and disagrees.
+			skip := p.guardMask()
+			if consBits.Op&self == 0 {
+				skip |= self
+			}
+			for rem := rowSet &^ self; rem != 0; rem &= rem - 1 {
+				j := bits.TrailingZeros64(rem) + 1
+				jb := uint64(1) << uint(j-1)
+				// A row conflicts with the health vector wherever it is
+				// known with the opposite opinion, or ε where the vector
+				// holds a verdict (consBits is all-Known here).
+				conflict := (matrix.know[j] & (matrix.op[j] ^ consBits.Op)) | (all &^ matrix.know[j])
+				if conflict&^(jb|skip) != 0 {
+					p.accuse[j] = accusationTTL
+					p.accuseMask |= jb
+					out.Accused = append(out.Accused, j)
+				}
+			}
+			// Age updates happen after the whole check loop so that every
+			// row is judged against the same guard state.
+			for _, j := range out.Accused {
+				p.accusedAge[j] = 0
+				p.agingMask |= 1 << uint(j-1)
+			}
+			if consBits.Op&self == 0 {
+				p.accusedAge[p.cfg.ID] = 0
+				p.agingMask |= self
+			}
+		}
+	}
+
+	// Phase 2 — dissemination (send alignment, Alg. 1 lines 7-10): choose
+	// the syndrome whose transmission round keeps all disseminated
+	// syndromes referring to the same diagnosed round.
+	var outBits BitSyndrome
+	switch {
+	case p.cfg.AllSendCurrRound:
+		outBits = alLS
+	case p.cfg.SendCurrRound:
+		outBits = rd.al
+	default:
+		outBits = alLS
+	}
+	if p.cfg.Mode == ModeMembership && p.accuseMask != 0 {
+		// Pending accusations force the accused entries to Faulty.
+		outBits.Op &^= p.accuseMask
+		outBits.Known |= p.accuseMask
+		for rem := p.accuseMask; rem != 0; rem &= rem - 1 {
+			j := bits.TrailingZeros64(rem) + 1
+			p.accuse[j]--
+			if p.accuse[j] == 0 {
+				p.accuseMask &^= 1 << uint(j-1)
+			}
+		}
+	}
+	outBits.UnpackInto(outSyn)
+	send := p.sendBufs[p.steps&3]
+	outBits.EncodeInto(send)
+	out.Send = send
+	out.SendSyndrome = outSyn
+
+	// Phase 5 — update counters (Alg. 1 line 15, Alg. 2): one masked update
+	// that visits only the columns voted faulty plus the nodes with live
+	// counters.
+	if out.ConsHV != nil {
+		out.Isolated, out.Reintegrated = p.pr.updateMasked(out.ConsHVBits.Known &^ out.ConsHVBits.Op)
+	}
+	active := p.activeBufs[p.steps&3]
+	copy(active, p.pr.active)
+	out.Active = active
+	out.ActiveMask = p.pr.activeMask
+
+	// Buffering for the next round (Alg. 1 lines 16-17): copy this round's
+	// raw observations into the buffer the next step will read (two-word
+	// value copies for the present rows). wr.al already holds the aligned
+	// local syndrome, and outSyn/outBits live in this round's private block
+	// or are values, so retaining them as lastSent costs nothing.
+	wr.set = present
+	for rem := present; rem != 0; rem &= rem - 1 {
+		j := bits.TrailingZeros64(rem) + 1
+		wr.rows[j] = in.Rows[j].normalized(all)
+	}
+	wr.ls = validity
+	p.prevSent = p.lastSent
+	p.lastSent = outSyn
+	p.prevSentP = p.lastSentP
+	p.lastSentP = outBits
+	p.ageAccusations()
+	p.steps++
+	if invariant.Enabled {
+		p.checkStepInvariants(out)
+	}
+	return out, nil
+}
+
+// stepScalar is the byte-per-entry diagnostic job: the reference
+// implementation for systems beyond the packed bound and for the
+// differential tests (inputs are pre-validated by Step).
+func (p *Protocol) stepScalar(in RoundInput) (RoundOutput, error) {
+	n := p.cfg.N
 
 	// rd was written in the previous round; wr becomes next round's rd.
 	rd := &p.bufs[p.steps&1]
@@ -430,6 +843,9 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 			consHV[j] = p.collisionVerdict(in.Collision, diagRound)
 		}
 		out.ConsHV = consHV
+		if n <= MaxPackedN {
+			out.ConsHVBits = packSyndrome(consHV)
+		}
 		out.DiagnosedRound = diagRound
 		out.Matrix = matrix
 
@@ -441,6 +857,9 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 				}
 				if p.disagrees(row, consHV, j) {
 					p.accuse[j] = accusationTTL
+					if j <= MaxPackedN {
+						p.accuseMask |= 1 << uint(j-1)
+					}
 					out.Accused = append(out.Accused, j)
 				}
 			}
@@ -448,12 +867,18 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 			// row is judged against the same guard state.
 			for _, j := range out.Accused {
 				p.accusedAge[j] = 0
+				if j <= MaxPackedN {
+					p.agingMask |= 1 << uint(j-1)
+				}
 			}
 			// A node that finds itself convicted has (from its own point of
 			// view) been minority-accused: guard its own entry so it does
 			// not counter-accuse rows that still carry the older verdict.
 			if consHV[p.cfg.ID] == Faulty {
 				p.accusedAge[p.cfg.ID] = 0
+				if p.cfg.ID <= MaxPackedN {
+					p.agingMask |= 1 << uint(p.cfg.ID-1)
+				}
 			}
 		}
 	}
@@ -474,6 +899,9 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 			if p.accuse[j] > 0 {
 				outSyn[j] = Faulty
 				p.accuse[j]--
+				if p.accuse[j] == 0 && j <= MaxPackedN {
+					p.accuseMask &^= 1 << uint(j-1)
+				}
 			}
 		}
 	}
@@ -494,6 +922,7 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	active := p.activeBufs[p.steps&3]
 	copy(active, p.pr.active)
 	out.Active = active
+	out.ActiveMask = p.pr.activeMask
 
 	// Buffering for the next round (Alg. 1 lines 16-17): copy this round's
 	// raw observations into the buffer the next Step will read. wr.al
@@ -509,16 +938,61 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	copy(wr.ls, in.Validity)
 	p.prevSent = p.lastSent
 	p.lastSent = outSyn
-	for j := 1; j <= n; j++ {
-		if p.accusedAge[j] <= accusationSkew {
-			p.accusedAge[j]++
-		}
-	}
+	p.ageAccusations()
 	p.steps++
 	if invariant.Enabled {
 		p.checkStepInvariants(out)
 	}
 	return out, nil
+}
+
+// ageAccusations advances the skew-guard ages; counters saturated past the
+// window (the steady state of every node) carry no mask bit and cost
+// nothing.
+func (p *Protocol) ageAccusations() {
+	if p.agingMask != 0 || p.packed {
+		for rem := p.agingMask; rem != 0; rem &= rem - 1 {
+			j := bits.TrailingZeros64(rem) + 1
+			p.accusedAge[j]++
+			if p.accusedAge[j] > accusationSkew {
+				p.agingMask &^= 1 << uint(j-1)
+			}
+		}
+		return
+	}
+	for j := 1; j <= p.cfg.N; j++ {
+		if p.accusedAge[j] <= accusationSkew {
+			p.accusedAge[j]++
+		}
+	}
+}
+
+// guardMask returns the accusationSkew guard as a column mask: bit j-1 set
+// iff accusedAge[j] lies in [1, accusationSkew].
+func (p *Protocol) guardMask() uint64 {
+	var m uint64
+	for rem := p.agingMask; rem != 0; rem &= rem - 1 {
+		j := bits.TrailingZeros64(rem) + 1
+		if a := p.accusedAge[j]; a >= 1 && a <= accusationSkew {
+			m |= 1 << uint(j-1)
+		}
+	}
+	return m
+}
+
+// rebuildAccusationMasks recomputes accuseMask and agingMask from the
+// counter slices (used after a snapshot restore replaces them).
+func (p *Protocol) rebuildAccusationMasks() {
+	p.accuseMask, p.agingMask = 0, 0
+	for j := 1; j <= p.cfg.N && j <= MaxPackedN; j++ {
+		bit := uint64(1) << uint(j-1)
+		if p.accuse[j] > 0 {
+			p.accuseMask |= bit
+		}
+		if p.accusedAge[j] <= accusationSkew {
+			p.agingMask |= bit
+		}
+	}
 }
 
 // ownRow returns the syndrome this node physically transmitted in the
@@ -530,6 +1004,14 @@ func (p *Protocol) ownRow() Syndrome {
 		return p.lastSent
 	}
 	return p.prevSent
+}
+
+// ownRowP is ownRow on the packed path.
+func (p *Protocol) ownRowP() BitSyndrome {
+	if p.cfg.SendCurrRound {
+		return p.lastSentP
+	}
+	return p.prevSentP
 }
 
 func (p *Protocol) collisionVerdict(fn CollisionFn, round int) Opinion {

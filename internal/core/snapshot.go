@@ -36,12 +36,9 @@ type prSnapshot struct {
 // format is unchanged from the pre-double-buffering layout: only the buffer
 // the next Step will read (the previous round's observations) is captured.
 func (p *Protocol) Snapshot() ([]byte, error) {
-	rd := &p.bufs[p.steps&1]
 	snap := protocolSnapshot{
 		Config:     p.cfg,
 		Steps:      p.steps,
-		PrevLS:     rd.ls,
-		PrevAlLS:   rd.al,
 		LastSent:   p.lastSent,
 		PrevSent:   p.prevSent,
 		Accuse:     p.accuse,
@@ -54,9 +51,26 @@ func (p *Protocol) Snapshot() ([]byte, error) {
 		},
 	}
 	snap.PrevDM = make(map[int]Syndrome)
-	for j := 1; j <= p.cfg.N; j++ {
-		if rd.set[j] {
-			snap.PrevDM[j] = rd.dm[j]
+	n := p.cfg.N
+	if p.packed {
+		// The packed alignment state materialises to the exact scalar form:
+		// the JSON bytes are identical to a scalar-path snapshot.
+		rd := &p.pbufs[p.steps&1]
+		snap.PrevLS = rd.ls.Unpack(n)
+		snap.PrevAlLS = rd.al.Unpack(n)
+		for j := 1; j <= n; j++ {
+			if rd.set&(1<<uint(j-1)) != 0 {
+				snap.PrevDM[j] = rd.rows[j].Unpack(n)
+			}
+		}
+	} else {
+		rd := &p.bufs[p.steps&1]
+		snap.PrevLS = rd.ls
+		snap.PrevAlLS = rd.al
+		for j := 1; j <= n; j++ {
+			if rd.set[j] {
+				snap.PrevDM[j] = rd.dm[j]
+			}
 		}
 	}
 	return json.Marshal(snap)
@@ -101,29 +115,49 @@ func RestoreProtocol(data []byte) (*Protocol, error) {
 		return nil, fmt.Errorf("core: restore: penalty/reward state has wrong size")
 	}
 	p.steps = snap.Steps
-	// Fill the buffer the next Step will read; the other buffer is dead
-	// state (it is fully rewritten before it is ever read again).
-	rd := &p.bufs[p.steps&1]
-	copy(rd.ls, snap.PrevLS)
-	copy(rd.al, snap.PrevAlLS)
 	p.lastSent = snap.LastSent
 	p.prevSent = snap.PrevSent
 	p.accuse = snap.Accuse
 	p.accusedAge = snap.AccusedAge
-	for j := 1; j <= n; j++ {
-		if dm, ok := snap.PrevDM[j]; ok {
-			if err := check("prevDM", dm); err != nil {
-				return nil, err
+	// Fill the buffer the next Step will read; the other buffer is dead
+	// state (it is fully rewritten before it is ever read again).
+	if p.packed {
+		rd := &p.pbufs[p.steps&1]
+		rd.ls = packSyndrome(snap.PrevLS)
+		rd.al = packSyndrome(snap.PrevAlLS)
+		rd.set = 0
+		for j := 1; j <= n; j++ {
+			if dm, ok := snap.PrevDM[j]; ok {
+				if err := check("prevDM", dm); err != nil {
+					return nil, err
+				}
+				rd.rows[j] = packSyndrome(dm)
+				rd.set |= 1 << uint(j-1)
 			}
-			copy(rd.dm[j], dm)
-			rd.set[j] = true
-		} else {
-			rd.set[j] = false
+		}
+		p.lastSentP = packSyndrome(snap.LastSent)
+		p.prevSentP = packSyndrome(snap.PrevSent)
+	} else {
+		rd := &p.bufs[p.steps&1]
+		copy(rd.ls, snap.PrevLS)
+		copy(rd.al, snap.PrevAlLS)
+		for j := 1; j <= n; j++ {
+			if dm, ok := snap.PrevDM[j]; ok {
+				if err := check("prevDM", dm); err != nil {
+					return nil, err
+				}
+				copy(rd.dm[j], dm)
+				rd.set[j] = true
+			} else {
+				rd.set[j] = false
+			}
 		}
 	}
+	p.rebuildAccusationMasks()
 	p.pr.penalties = snap.PR.Penalties
 	p.pr.rewards = snap.PR.Rewards
 	p.pr.active = snap.PR.Active
 	p.pr.observe = snap.PR.Observe
+	p.pr.rebuildMasks()
 	return p, nil
 }

@@ -10,6 +10,7 @@ package membership
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"ttdiag/internal/core"
@@ -61,6 +62,10 @@ type Service struct {
 	view    View
 	history []View
 	out     []bool // out[j]: node j has been excluded from the membership
+	// outMask mirrors out as a bit mask when the underlying protocol runs
+	// the packed representation, so the per-round exclusion check is two
+	// word operations instead of an N-entry scan.
+	outMask uint64
 }
 
 // New builds the membership service for one node. The configuration's Mode
@@ -105,6 +110,7 @@ func (s *Service) Reset() {
 	for j := range s.out {
 		s.out[j] = false
 	}
+	s.outMask = 0
 }
 
 // View returns the current view.
@@ -127,13 +133,42 @@ func (s *Service) Step(in core.RoundInput) (Output, error) {
 	if err != nil {
 		return Output{}, err
 	}
+	return s.finish(diag), nil
+}
+
+// StepPacked executes one round on packed observations (the zero-conversion
+// entry of the hot path, available when the underlying protocol runs the
+// packed representation — see core.Protocol.StepPacked).
+func (s *Service) StepPacked(in core.PackedRoundInput) (Output, error) {
+	diag, err := s.proto.StepPacked(in)
+	if err != nil {
+		return Output{}, err
+	}
+	return s.finish(diag), nil
+}
+
+// finish folds one diagnostic round into the view bookkeeping.
+func (s *Service) finish(diag core.RoundOutput) Output {
 	out := Output{Diag: diag}
 	changed := false
 	if diag.ConsHV != nil {
-		for j := 1; j <= s.proto.Config().N; j++ {
-			if diag.ConsHV[j] == core.Faulty && !s.out[j] {
-				s.out[j] = true
+		if s.proto.Packed() {
+			// Newly convicted members in two word ops: known-Faulty entries
+			// not yet excluded.
+			fresh := (diag.ConsHVBits.Known &^ diag.ConsHVBits.Op) &^ s.outMask
+			if fresh != 0 {
 				changed = true
+				s.outMask |= fresh
+				for rem := fresh; rem != 0; rem &= rem - 1 {
+					s.out[bits.TrailingZeros64(rem)+1] = true
+				}
+			}
+		} else {
+			for j := 1; j <= s.proto.Config().N; j++ {
+				if diag.ConsHV[j] == core.Faulty && !s.out[j] {
+					s.out[j] = true
+					changed = true
+				}
 			}
 		}
 	}
@@ -150,5 +185,5 @@ func (s *Service) Step(in core.RoundInput) (Output, error) {
 	}
 	out.ViewChanged = changed
 	out.View = s.view.clone()
-	return out, nil
+	return out
 }

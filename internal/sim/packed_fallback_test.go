@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ttdiag/internal/core"
+)
+
+// TestScalarFallbackBeyondPackedBound smoke-tests the full simulation stack
+// one node past core.MaxPackedN: the protocols must transparently select the
+// scalar reference representation and a fault-free run must still diagnose
+// every round all-healthy.
+func TestScalarFallbackBeyondPackedBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("65-node cluster")
+	}
+	n := core.MaxPackedN + 1
+	eng, runners, err := NewDiagnosticCluster(ClusterConfig{
+		N: n, Ls: Staircase(n),
+		RoundLen: time.Duration(n) * 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= n; id++ {
+		if runners[id].Protocol().Packed() {
+			t.Fatalf("node %d: expected the scalar representation at N = %d", id, n)
+		}
+	}
+	const rounds = 8
+	if err := eng.RunRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= n; id++ {
+		out := runners[id].Last()
+		if out.ConsHV == nil {
+			t.Fatalf("node %d: no health vector after %d rounds", id, rounds)
+		}
+		if got := out.ConsHV.CountFaulty(); got != 0 {
+			t.Fatalf("node %d: fault-free run convicted %d nodes: %s", id, got, out.ConsHV)
+		}
+		if out.ActiveMask != 0 {
+			t.Fatalf("node %d: ActiveMask must be zero beyond the packed bound, got %x", id, out.ActiveMask)
+		}
+	}
+}
+
+// TestPackedRunnersSelectPackedPath pins the representation choice within the
+// bound: the sim hot path must run StepPacked-fed protocols.
+func TestPackedRunnersSelectPackedPath(t *testing.T) {
+	eng, runners, err := NewDiagnosticCluster(ClusterConfig{Ls: Staircase(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 4; id++ {
+		if !runners[id].Protocol().Packed() {
+			t.Fatalf("node %d: expected the packed representation at N = 4", id)
+		}
+	}
+	if err := eng.RunRounds(12); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 4; id++ {
+		out := runners[id].Last()
+		if out.ConsHVBits.Known != core.PlaneMask(4) {
+			t.Fatalf("node %d: ConsHVBits not fully known: %+v", id, out.ConsHVBits)
+		}
+		if out.ActiveMask != core.PlaneMask(4) {
+			t.Fatalf("node %d: fault-free ActiveMask = %x", id, out.ActiveMask)
+		}
+	}
+}

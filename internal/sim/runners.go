@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ttdiag/internal/core"
 	"ttdiag/internal/membership"
@@ -16,10 +17,27 @@ type inputScratch struct {
 	dms      []core.Syndrome // n+1; entry j aliases rows[j] or is nil (ε)
 	rows     []core.Syndrome // n+1 preallocated decode destinations
 	validity core.Syndrome
+	// prows is the packed-path equivalent of rows: per-sender two-word
+	// syndromes fed to core.Protocol.StepPacked.
+	prows []core.BitSyndrome
 	// collision is cached per controller so the hot path does not allocate
 	// a fresh closure every round.
 	collision core.CollisionFn
 	ctrl      *tdma.Controller
+}
+
+// bindCollision (re)caches the collision-detector closure for ctrl.
+func (sc *inputScratch) bindCollision(ctrl *tdma.Controller) {
+	if sc.ctrl == ctrl {
+		return
+	}
+	sc.ctrl = ctrl
+	sc.collision = func(r int) core.Opinion {
+		if collided, ok := ctrl.Collision(r); ok && collided {
+			return core.Faulty
+		}
+		return core.Healthy
+	}
 }
 
 // build converts interface-variable values and validity bits (from a live
@@ -36,15 +54,7 @@ func (sc *inputScratch) build(round, n int, values [][]byte, valid []bool, ctrl 
 		}
 		sc.validity = core.NewSyndrome(n, core.Healthy)
 	}
-	if sc.ctrl != ctrl {
-		sc.ctrl = ctrl
-		sc.collision = func(r int) core.Opinion {
-			if collided, ok := ctrl.Collision(r); ok && collided {
-				return core.Faulty
-			}
-			return core.Healthy
-		}
-	}
+	sc.bindCollision(ctrl)
 	in := core.RoundInput{
 		Round:     round,
 		DMs:       sc.dms,
@@ -75,6 +85,38 @@ func (sc *inputScratch) buildRoundInput(round, n int, ctrl *tdma.Controller) cor
 	return sc.build(round, n, values, valid, ctrl)
 }
 
+// buildPacked is build for the bit-packed hot path (N <= core.MaxPackedN):
+// the validity bits arrive as a mask, each valid payload is word-loaded
+// straight into planes, and an undecodable payload drops out of both the
+// presence and validity masks — exactly the ε + invalid outcome of the
+// scalar build. The returned input aliases sc.prows (the protocol copies
+// rows in, so reuse after the step is safe).
+func (sc *inputScratch) buildPacked(round, n int, values [][]byte, validMask uint64, ctrl *tdma.Controller) core.PackedRoundInput {
+	if sc.prows == nil {
+		sc.prows = make([]core.BitSyndrome, n+1)
+	}
+	sc.bindCollision(ctrl)
+	all := core.PlaneMask(n)
+	var present uint64
+	for rem := validMask & all; rem != 0; rem &= rem - 1 {
+		j := bits.TrailingZeros64(rem) + 1
+		row, err := core.BitSyndromeFromWire(values[j], n)
+		if err != nil {
+			// A syntactically wrong payload is locally detectable.
+			continue
+		}
+		sc.prows[j] = row
+		present |= rem & -rem
+	}
+	return core.PackedRoundInput{
+		Round:     round,
+		Rows:      sc.prows,
+		Present:   present,
+		Validity:  core.BitSyndrome{Op: present, Known: all},
+		Collision: sc.collision,
+	}
+}
+
 // applyActivity propagates the protocol's activity vector into the node's
 // controller: traffic from isolated nodes is ignored, reintegrated nodes are
 // heard again. When the reintegration extension is enabled (observe), the
@@ -87,6 +129,27 @@ func applyActivity(ctrl *tdma.Controller, active []bool, observe bool) {
 	}
 }
 
+// activityCache elides the per-node SetIgnored sweep on the packed path when
+// the activity mask did not change since the last application — the common
+// case of every steady-state round. Skipping is sound because SetIgnored is
+// idempotent: an already-ignored sender keeps being dropped by ApplyDelivery
+// without re-marking, and an already-heard sender needs no unmarking.
+type activityCache struct {
+	ctrl *tdma.Controller
+	mask uint64
+	have bool
+}
+
+func (c *activityCache) reset() { c.have = false }
+
+func (c *activityCache) apply(ctrl *tdma.Controller, out core.RoundOutput, packed, observe bool) {
+	if packed && c.have && c.ctrl == ctrl && c.mask == out.ActiveMask {
+		return
+	}
+	applyActivity(ctrl, out.Active, observe)
+	c.ctrl, c.mask, c.have = ctrl, out.ActiveMask, packed
+}
+
 // DiagRunner adapts a core.Protocol to the engine: it snapshots the
 // controller, steps the protocol, applies isolation decisions to the
 // controller, and stages the dissemination payload.
@@ -94,16 +157,18 @@ type DiagRunner struct {
 	proto   *core.Protocol
 	last    core.RoundOutput
 	scratch inputScratch
+	act     activityCache
 	// OnOutput, when set, observes every round output (used by collectors).
 	OnOutput func(core.RoundOutput)
 
 	// Round-start interface snapshot, captured by the engine for
 	// dynamically scheduled nodes (core.Config.Dynamic). The value buffers
 	// are runner-owned and reused across rounds.
-	snapRound  int
-	snapValues [][]byte
-	snapValid  []bool
-	haveSnap   bool
+	snapRound     int
+	snapValues    [][]byte
+	snapValid     []bool
+	snapValidMask uint64
+	haveSnap      bool
 }
 
 // CaptureSnapshot implements SnapshotTaker: it pins the node's read point to
@@ -123,6 +188,7 @@ func (r *DiagRunner) CaptureSnapshot(round int, ctrl *tdma.Controller) {
 		r.snapValues[j] = append(r.snapValues[j][:0], values[j]...)
 		r.snapValid[j] = valid[j]
 	}
+	r.snapValidMask = ctrl.ValidMask()
 	r.snapRound = round
 	r.haveSnap = true
 }
@@ -137,6 +203,7 @@ func (r *DiagRunner) ResetForRun() {
 	r.last = core.RoundOutput{}
 	r.OnOutput = nil
 	r.haveSnap = false
+	r.act.reset()
 }
 
 // ResetConfig is ResetForRun with a configuration swap (same N), used when a
@@ -149,6 +216,7 @@ func (r *DiagRunner) ResetConfig(cfg core.Config) error {
 	r.last = core.RoundOutput{}
 	r.OnOutput = nil
 	r.haveSnap = false
+	r.act.reset()
 	return nil
 }
 
@@ -169,22 +237,39 @@ func (r *DiagRunner) Protocol() *core.Protocol { return r.proto }
 // Last returns the most recent round output.
 func (r *DiagRunner) Last() core.RoundOutput { return r.last }
 
-// Run implements Runner.
+// Run implements Runner. Within the packed bound it feeds the protocol
+// plane-form inputs straight off the controller's validity mask — no
+// []Opinion or []bool materialisation on the hot path.
 func (r *DiagRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
-	var in core.RoundInput
-	if r.proto.Config().Dynamic {
-		if !r.haveSnap || r.snapRound != round {
-			return nil, fmt.Errorf("sim: node %d: dynamic protocol without a round-%d snapshot", r.proto.Config().ID, round)
-		}
-		in = r.scratch.build(round, r.proto.Config().N, r.snapValues, r.snapValid, ctrl)
-	} else {
-		in = r.scratch.buildRoundInput(round, r.proto.Config().N, ctrl)
+	cfg := r.proto.Config()
+	dynamic := cfg.Dynamic
+	if dynamic && (!r.haveSnap || r.snapRound != round) {
+		return nil, fmt.Errorf("sim: node %d: dynamic protocol without a round-%d snapshot", cfg.ID, round)
 	}
-	out, err := r.proto.Step(in)
+	var out core.RoundOutput
+	var err error
+	if r.proto.Packed() {
+		var in core.PackedRoundInput
+		if dynamic {
+			in = r.scratch.buildPacked(round, cfg.N, r.snapValues, r.snapValidMask, ctrl)
+		} else {
+			values, _ := ctrl.ReadAll()
+			in = r.scratch.buildPacked(round, cfg.N, values, ctrl.ValidMask(), ctrl)
+		}
+		out, err = r.proto.StepPacked(in)
+	} else {
+		var in core.RoundInput
+		if dynamic {
+			in = r.scratch.build(round, cfg.N, r.snapValues, r.snapValid, ctrl)
+		} else {
+			in = r.scratch.buildRoundInput(round, cfg.N, ctrl)
+		}
+		out, err = r.proto.Step(in)
+	}
 	if err != nil {
 		return nil, err
 	}
-	applyActivity(ctrl, out.Active, r.proto.Config().PR.ReintegrationThreshold > 0)
+	r.act.apply(ctrl, out, r.proto.Packed(), cfg.PR.ReintegrationThreshold > 0)
 	r.last = out
 	if r.OnOutput != nil {
 		r.OnOutput(out)
@@ -197,6 +282,7 @@ type MembershipRunner struct {
 	svc     *membership.Service
 	last    membership.Output
 	scratch inputScratch
+	act     activityCache
 	// OnOutput, when set, observes every round output.
 	OnOutput func(membership.Output)
 }
@@ -208,6 +294,7 @@ func (r *MembershipRunner) ResetForRun() {
 	r.svc.Reset()
 	r.last = membership.Output{}
 	r.OnOutput = nil
+	r.act.reset()
 }
 
 var _ Runner = (*MembershipRunner)(nil)
@@ -230,14 +317,23 @@ func (r *MembershipRunner) Last() membership.Output { return r.last }
 // View returns the node's current membership view.
 func (r *MembershipRunner) View() membership.View { return r.svc.View() }
 
-// Run implements Runner.
+// Run implements Runner; like DiagRunner.Run it stays in plane form within
+// the packed bound.
 func (r *MembershipRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error) {
-	in := r.scratch.buildRoundInput(round, r.svc.Protocol().Config().N, ctrl)
-	out, err := r.svc.Step(in)
+	proto := r.svc.Protocol()
+	cfg := proto.Config()
+	var out membership.Output
+	var err error
+	if proto.Packed() {
+		values, _ := ctrl.ReadAll()
+		out, err = r.svc.StepPacked(r.scratch.buildPacked(round, cfg.N, values, ctrl.ValidMask(), ctrl))
+	} else {
+		out, err = r.svc.Step(r.scratch.buildRoundInput(round, cfg.N, ctrl))
+	}
 	if err != nil {
 		return nil, err
 	}
-	applyActivity(ctrl, out.Diag.Active, r.svc.Protocol().Config().PR.ReintegrationThreshold > 0)
+	r.act.apply(ctrl, out.Diag, proto.Packed(), cfg.PR.ReintegrationThreshold > 0)
 	r.last = out
 	if r.OnOutput != nil {
 		r.OnOutput(out)

@@ -30,6 +30,11 @@ type Controller struct {
 	valid  []bool
 	valBuf [][]byte
 
+	// validMask mirrors valid[] as a bit mask (bit j-1 = sender j) for the
+	// first 64 senders, feeding the bit-packed diagnostic hot path without a
+	// per-round scan. Senders beyond 64 are tracked only in valid[].
+	validMask uint64
+
 	// outbox is the staged value of this node's own interface variable,
 	// transmitted at the node's next sending slot. Its backing array is
 	// reused across writes.
@@ -74,6 +79,7 @@ func (c *Controller) Reset() {
 		c.valid[j] = false
 		c.ignored[j] = false
 	}
+	c.validMask = 0
 	c.outbox = c.outbox[:0]
 	c.collRound = [collisionHistory]int{}
 	c.collVerdict = [collisionHistory]bool{}
@@ -114,6 +120,24 @@ func (c *Controller) ReadAll() (values [][]byte, valid []bool) {
 	return c.values, c.valid
 }
 
+// ValidMask returns the validity bits of the first 64 interface variables as
+// a bit mask (bit j-1 = sender j), the packed-path form of ReadAll's valid
+// slice. Being a value, it is retain-safe.
+func (c *Controller) ValidMask() uint64 { return c.validMask }
+
+// setValid updates one validity bit together with its mask mirror.
+func (c *Controller) setValid(sender NodeID, valid bool) {
+	c.valid[sender] = valid
+	if sender >= 1 && sender <= 64 {
+		bit := uint64(1) << uint(sender-1)
+		if valid {
+			c.validMask |= bit
+		} else {
+			c.validMask &^= bit
+		}
+	}
+}
+
 // Snapshot returns copies of all interface-variable values and validity bits,
 // both indexed 1..N (index 0 unused). It is what a diagnostic job reads at
 // the start of its execution (Alg. 1, lines 1-2). Unlike ReadAll, the copies
@@ -141,7 +165,7 @@ func (c *Controller) SetIgnored(sender NodeID, ignored bool) {
 	c.ignored[sender] = ignored
 	if ignored {
 		c.values[sender] = nil
-		c.valid[sender] = false
+		c.setValid(sender, false)
 	}
 }
 
@@ -180,12 +204,12 @@ func (c *Controller) ApplyDelivery(sender NodeID, d Delivery) {
 	}
 	if c.ignored[sender] || !d.Valid || len(d.Payload) == 0 {
 		c.values[sender] = nil
-		c.valid[sender] = !c.ignored[sender] && d.Valid
+		c.setValid(sender, !c.ignored[sender] && d.Valid)
 		return
 	}
 	c.valBuf[sender] = append(c.valBuf[sender][:0], d.Payload...)
 	c.values[sender] = c.valBuf[sender]
-	c.valid[sender] = true
+	c.setValid(sender, true)
 }
 
 // RecordCollision stores the collision-detector verdict for the node's own

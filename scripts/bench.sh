@@ -1,28 +1,25 @@
 #!/usr/bin/env bash
 # bench.sh runs the campaign engine and protocol hot-path benchmarks and
-# records every sample in BENCH_campaign.json, so the bench trajectory of the
+# records every sample in BENCH_campaign.json, plus the packed voting-kernel
+# microbenchmarks in BENCH_core.json, so the bench trajectory of the
 # repository can be tracked across commits. Usage:
 #
 #   scripts/bench.sh                 # 5 samples per benchmark (default)
 #   COUNT=1 scripts/bench.sh         # quick single-sample run
-#   OUT=/tmp/b.json scripts/bench.sh # write the JSON elsewhere
 #
 # See docs/PERFORMANCE.md for the reference numbers and how to read them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-OUT="${OUT:-BENCH_campaign.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' \
-    -bench 'BenchmarkSec8BurstCampaign|BenchmarkProtocolStep|BenchmarkEngineRound' \
-    -benchmem -count="$COUNT" . | tee "$raw"
-
-# Fold the benchmark lines into a JSON sample list (no external tools: the
-# container only guarantees the go toolchain and a POSIX userland).
-awk '
+# fold_json converts `go test -bench` output on stdin into a JSON sample list
+# (no external tools: the container only guarantees the go toolchain and a
+# POSIX userland).
+fold_json() {
+    awk '
 BEGIN { print "["; sep = "" }
 /^Benchmark/ {
     name = $1; iters = $2; ns = "null"; bytes = "null"; allocs = "null"
@@ -36,6 +33,17 @@ BEGIN { print "["; sep = "" }
     sep = ",\n"
 }
 END { print "\n]" }
-' "$raw" > "$OUT"
+'
+}
 
-echo "wrote $OUT"
+go test -run '^$' \
+    -bench 'BenchmarkSec8BurstCampaign|BenchmarkProtocolStep|BenchmarkEngineRound' \
+    -benchmem -count="$COUNT" . | tee "$raw"
+fold_json < "$raw" > BENCH_campaign.json
+echo "wrote BENCH_campaign.json"
+
+go test -run '^$' \
+    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow' \
+    -benchmem -count="$COUNT" ./internal/core/ | tee "$raw"
+fold_json < "$raw" > BENCH_core.json
+echo "wrote BENCH_core.json"

@@ -33,8 +33,14 @@ go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvar
 echo "== go test -race -cpu=1,4 (cluster reuse equivalence) =="
 go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
 
+echo "== go test -race -cpu=1,4 (packed/scalar step equivalence) =="
+go test -race -cpu=1,4 ./internal/core/ -run TestPackedScalarStepEquivalence
+
 echo "== go test (allocation ceilings) =="
 go test ./internal/core/ ./internal/sim/ -run 'Allocs'
+
+echo "== go test -fuzz (packed voting kernel, seed corpus + short fuzz) =="
+go test ./internal/core/ -run FuzzVoteAll -fuzz FuzzVoteAll -fuzztime 30s
 
 echo "== go test -tags ttdiag_invariants =="
 go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...

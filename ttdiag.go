@@ -76,8 +76,14 @@ type (
 	Protocol = core.Protocol
 	// RoundInput feeds one round of controller observations to a Protocol.
 	RoundInput = core.RoundInput
+	// PackedRoundInput feeds one round of already bit-packed observations to
+	// a packed-representation Protocol (N <= MaxPackedN).
+	PackedRoundInput = core.PackedRoundInput
 	// RoundOutput is the result of one diagnostic-job execution.
 	RoundOutput = core.RoundOutput
+	// BitSyndrome is a syndrome packed into two 64-bit planes (opinions and
+	// presence); the value representation of the word-parallel voting kernel.
+	BitSyndrome = core.BitSyndrome
 	// Mode selects the diagnostic or membership protocol variant.
 	Mode = core.Mode
 )
@@ -90,6 +96,11 @@ const (
 
 	ModeDiagnostic = core.ModeDiagnostic
 	ModeMembership = core.ModeMembership
+
+	// MaxPackedN is the widest system the bit-packed representation covers;
+	// beyond it the protocol transparently falls back to the scalar
+	// reference implementation.
+	MaxPackedN = core.MaxPackedN
 )
 
 // NewProtocol builds the diagnostic job for one node.
@@ -108,6 +119,14 @@ func DecodeSyndrome(data []byte, n int) (Syndrome, error) { return core.DecodeSy
 
 // NewSyndrome returns a syndrome for n nodes filled with the given opinion.
 func NewSyndrome(n int, fill Opinion) Syndrome { return core.NewSyndrome(n, fill) }
+
+// PackSyndrome packs a scalar syndrome into its two-plane bit representation
+// (len(s)-1 <= MaxPackedN nodes).
+func PackSyndrome(s Syndrome) (BitSyndrome, error) { return core.PackSyndrome(s) }
+
+// PlaneMask returns the presence mask covering nodes 1..n, i.e. the low n
+// bits set.
+func PlaneMask(n int) uint64 { return core.PlaneMask(n) }
 
 // Membership service (Sec. 7).
 type (
