@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s] [-workers n]
+//	                   [-metrics f] [-trace f] [-progress] [-progress-addr a]
 //	                   [-cpuprofile f] [-memprofile f]
 package main
 
@@ -17,6 +18,8 @@ import (
 	"runtime/pprof"
 
 	"ttdiag/internal/experiments"
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
 )
 
 func main() {
@@ -35,6 +38,10 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 2007, "master seed for randomised campaigns")
 		workers    = fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical at any value")
 		out        = fs.String("out", "", "also write the rendered artifacts to this file")
+		metricsOut = fs.String("metrics", "", "write a versioned machine-readable metrics report (JSON) to this file")
+		traceOut   = fs.String("trace", "", "stream simulation trace events (JSONL) to this file; forces -workers=1 so the event order is deterministic")
+		progress   = fs.Bool("progress", false, "print wall-clock campaign progress (runs/s) to stderr")
+		progrAddr  = fs.String("progress-addr", "", "serve progress counters over HTTP expvar (/debug/vars) at this address")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -79,8 +86,66 @@ func run(args []string) error {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	p := experiments.Params{Seed: *seed, Runs: *runs, Workers: *workers, Out: w}
-	if *id != "" {
-		return experiments.Run(*id, p)
+
+	var rep *metrics.Report
+	if *metricsOut != "" {
+		rep = metrics.NewReport("ttdiag-experiments", *seed, *runs)
+		p.Metrics = rep
 	}
-	return experiments.RunAll(p)
+	var jw *trace.JSONLWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jw = trace.NewJSONLWriter(f)
+		p.Trace = jw
+		// A concurrent campaign would interleave trace events in scheduling
+		// order; serial execution keeps the stream reproducible.
+		p.Workers = 1
+	}
+	if *progress || *progrAddr != "" {
+		var pw io.Writer
+		if *progress {
+			pw = os.Stderr
+		}
+		prog := metrics.NewProgress(pw, "experiments", 0)
+		p.Progress = prog.RunDone
+		if *progrAddr != "" {
+			prog.PublishExpvar("ttdiag.progress")
+			addr, err := metrics.StartDebugServer(*progrAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "ttdiag-experiments: progress at http://%s/debug/vars\n", addr)
+		}
+		defer prog.Finish()
+	}
+
+	runExp := func() error {
+		if *id != "" {
+			return experiments.Run(*id, p)
+		}
+		return experiments.RunAll(p)
+	}
+	if err := runExp(); err != nil {
+		return err
+	}
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if rep != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
+
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
 )
 
 func TestListFlag(t *testing.T) {
@@ -58,5 +62,63 @@ func TestOutFlag(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Fatal("report file empty")
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	path := t.TempDir() + "/metrics.json"
+	if err := run([]string{"-run", "sec8-pr", "-runs", "2", "-metrics", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep metrics.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != metrics.ReportVersion || rep.Tool != "ttdiag-experiments" {
+		t.Fatalf("bad report header: %+v", rep)
+	}
+	snap, ok := rep.Experiments["sec8-pr"]
+	if !ok {
+		t.Fatalf("report misses sec8-pr: %v", rep.Experiments)
+	}
+	if snap.Counters["protocol/steps"] == 0 || len(snap.Series) == 0 {
+		t.Fatalf("report under-filled: %+v", snap)
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	if err := run([]string{"-run", "sec8-pr", "-runs", "2", "-workers", "4", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := 0
+	for _, e := range events {
+		if e.Kind == trace.KindNote {
+			notes++
+		}
+	}
+	if notes != 2 {
+		t.Fatalf("got %d run-boundary notes, want 2 (trace must force serial execution)", notes)
+	}
+}
+
+func TestProgressFlags(t *testing.T) {
+	// -progress-addr "127.0.0.1:0" binds an ephemeral port; the run must
+	// still terminate and the progress counter must have fired.
+	if err := run([]string{"-run", "fig2", "-runs", "1", "-progress", "-progress-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
 	}
 }

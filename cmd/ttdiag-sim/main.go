@@ -8,7 +8,7 @@
 //	ttdiag-sim [-variant diag|membership|lowlat|ttpc] [-n nodes] [-rounds k]
 //	           [-burst round:slot:slots] [-blind rcv:sender:round]
 //	           [-malicious node] [-crash node:round] [-scenario blinking|lightning]
-//	           [-p P] [-r R] [-seed s] [-quiet]
+//	           [-p P] [-r R] [-seed s] [-quiet] [-metrics f] [-trace f]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"ttdiag/internal/fault"
 	"ttdiag/internal/lowlat"
 	"ttdiag/internal/membership"
+	"ttdiag/internal/metrics"
 	"ttdiag/internal/replay"
 	"ttdiag/internal/rng"
 	"ttdiag/internal/sim"
@@ -51,6 +52,8 @@ type options struct {
 	quiet    bool
 	gantt    bool
 	record   string
+	metrics  string
+	traceOut string
 }
 
 func run(args []string) error {
@@ -70,6 +73,8 @@ func run(args []string) error {
 	fs.BoolVar(&o.quiet, "quiet", false, "only print the final summary")
 	fs.BoolVar(&o.gantt, "gantt", false, "print an ASCII round timeline at the end")
 	fs.StringVar(&o.record, "record", "", "write a flight-recorder bus transcript (JSONL) to this file")
+	fs.StringVar(&o.metrics, "metrics", "", "write a versioned metrics report (JSON) to this file (diag and membership variants)")
+	fs.StringVar(&o.traceOut, "trace", "", "stream simulation trace events (JSONL) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,18 +146,97 @@ func simulate(o options) error {
 		N:  o.n,
 		PR: core.PRConfig{PenaltyThreshold: o.p, RewardThreshold: o.r},
 	}
-	switch o.variant {
-	case "diag":
-		return simulateDiag(o, cfg)
-	case "membership":
-		return simulateMembership(o, cfg)
-	case "lowlat":
-		return simulateLowLat(o, cfg)
-	case "ttpc":
-		return simulateTTPC(o, cfg)
-	default:
-		return fmt.Errorf("unknown variant %q", o.variant)
+	if o.metrics != "" && o.variant != "diag" && o.variant != "membership" {
+		return fmt.Errorf("-metrics supports the diag and membership variants, not %q", o.variant)
 	}
+	var jw *trace.JSONLWriter
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jw = trace.NewJSONLWriter(f)
+		cfg.Sink = jw
+	}
+	runVariant := func() error {
+		switch o.variant {
+		case "diag":
+			return simulateDiag(o, cfg)
+		case "membership":
+			return simulateMembership(o, cfg)
+		case "lowlat":
+			return simulateLowLat(o, cfg)
+		case "ttpc":
+			return simulateTTPC(o, cfg)
+		default:
+			return fmt.Errorf("unknown variant %q", o.variant)
+		}
+	}
+	if err := runVariant(); err != nil {
+		return err
+	}
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// simTelemetry is the single-run metrics wiring of the -metrics flag: one
+// registry shared by the lock-step cluster, standard protocol counters on
+// every node, penalty trajectories on the node-1 observer.
+type simTelemetry struct {
+	reg *metrics.Registry
+	sys *sim.RunMetrics
+}
+
+func newSimTelemetry(o options) *simTelemetry {
+	if o.metrics == "" {
+		return nil
+	}
+	reg := metrics.New()
+	return &simTelemetry{reg: reg, sys: sim.NewRunMetrics(reg)}
+}
+
+// attach wires every protocol's StepMetrics; protoOf must return node id's
+// protocol. A nil receiver is a no-op.
+func (t *simTelemetry) attach(n int, protoOf func(id int) *core.Protocol) {
+	if t == nil {
+		return
+	}
+	sm := core.NewStepMetrics(t.reg)
+	smObs := *sm
+	smObs.PenaltySeries = make([]*metrics.Series, n+1)
+	for j := 1; j <= n; j++ {
+		smObs.PenaltySeries[j] = t.reg.Series(fmt.Sprintf("penalty/node%d", j), 1024)
+	}
+	protoOf(1).SetMetrics(&smObs)
+	for id := 2; id <= n; id++ {
+		protoOf(id).SetMetrics(sm)
+	}
+}
+
+// write folds the run's ground truth and writes the report file; col and
+// views may be nil when the variant has no collector or membership layer.
+func (t *simTelemetry) write(o options, eng *sim.Engine, col *sim.Collector, views []*sim.MembershipRunner) error {
+	if t == nil {
+		return nil
+	}
+	t.sys.ObserveTruth(eng)
+	if col != nil {
+		t.sys.ObserveIsolationLatency(eng, col)
+	}
+	t.sys.ObserveViews(views)
+	rep := metrics.NewReport("ttdiag-sim", o.seed, 1)
+	rep.Set(o.variant, t.reg.Snapshot())
+	f, err := os.Create(o.metrics)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rep.WriteJSON(f)
 }
 
 func printHV(o options, observer int, out core.RoundOutput, sched *tdma.Schedule) {
@@ -175,12 +259,18 @@ func printHV(o options, observer int, out core.RoundOutput, sched *tdma.Schedule
 func simulateDiag(o options, cfg sim.ClusterConfig) error {
 	var rec trace.Recorder
 	if o.gantt {
-		cfg.Sink = &rec
+		if cfg.Sink != nil {
+			cfg.Sink = trace.Tee{cfg.Sink, &rec}
+		} else {
+			cfg.Sink = &rec
+		}
 	}
 	eng, runners, err := sim.NewDiagnosticCluster(cfg)
 	if err != nil {
 		return err
 	}
+	tel := newSimTelemetry(o)
+	tel.attach(o.n, func(id int) *core.Protocol { return runners[id].Protocol() })
 	if o.record != "" {
 		f, err := os.Create(o.record)
 		if err != nil {
@@ -222,6 +312,9 @@ func simulateDiag(o options, cfg sim.ClusterConfig) error {
 	if err := eng.RunRounds(o.rounds); err != nil {
 		return err
 	}
+	if err := tel.write(o, eng, col, nil); err != nil {
+		return err
+	}
 	fmt.Printf("\nsimulated %d rounds (%v of bus time), %d isolation decision(s)\n",
 		o.rounds, time.Duration(o.rounds)*eng.Schedule().RoundLen(), len(col.Isolations))
 	active := runners[1].Last().Active
@@ -257,6 +350,8 @@ func simulateMembership(o options, cfg sim.ClusterConfig) error {
 	if err != nil {
 		return err
 	}
+	tel := newSimTelemetry(o)
+	tel.attach(o.n, func(id int) *core.Protocol { return runners[id].Service().Protocol() })
 	ds, err := disturbances(o, eng.Schedule())
 	if err != nil {
 		return err
@@ -272,6 +367,9 @@ func simulateMembership(o options, cfg sim.ClusterConfig) error {
 		}
 	}
 	if err := eng.RunRounds(o.rounds); err != nil {
+		return err
+	}
+	if err := tel.write(o, eng, nil, runners); err != nil {
 		return err
 	}
 	v := runners[1].View()

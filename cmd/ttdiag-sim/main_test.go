@@ -1,8 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
+
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
 )
 
 func TestVariants(t *testing.T) {
@@ -56,5 +60,57 @@ func TestRecordFlag(t *testing.T) {
 	}
 	if info.Size() == 0 {
 		t.Fatal("transcript empty")
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	for _, variant := range []string{"diag", "membership"} {
+		path := t.TempDir() + "/metrics.json"
+		args := []string{"-variant", variant, "-rounds", "16", "-quiet", "-metrics", path}
+		if variant == "diag" {
+			args = append(args, "-burst", "6:3:1")
+		} else {
+			args = append(args, "-blind", "1:2:8")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep metrics.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		snap, ok := rep.Experiments[variant]
+		if !ok {
+			t.Fatalf("%s: report misses its snapshot: %v", variant, rep.Experiments)
+		}
+		if snap.Counters["protocol/steps"] == 0 || len(snap.Series) == 0 {
+			t.Fatalf("%s: report under-filled: %+v", variant, snap)
+		}
+	}
+	if err := run([]string{"-variant", "ttpc", "-rounds", "4", "-metrics", t.TempDir() + "/m.json"}); err == nil {
+		t.Fatal("-metrics on ttpc accepted")
+	}
+}
+
+func TestTraceJSONLFlag(t *testing.T) {
+	path := t.TempDir() + "/trace.jsonl"
+	if err := run([]string{"-burst", "6:3:1", "-rounds", "10", "-quiet", "-gantt", "-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace stream empty")
 	}
 }

@@ -34,19 +34,51 @@ var clampLogOnce sync.Once
 // available CPU" (GOMAXPROCS), and explicit requests are clamped to
 // GOMAXPROCS — workers beyond the schedulable CPUs only add contention, and
 // the results are bit-identical at any worker count anyway. The first clamp
-// is logged once per process so an over-provisioned configuration is visible.
+// is logged once per process so an over-provisioned configuration is
+// visible; library users who want to observe or silence the clamp instead
+// pass Options.OnClamp to RunWith/RunPooledWith.
 func Workers(workers int) int {
+	return resolveWorkers(workers, nil)
+}
+
+// resolveWorkers clamps the requested worker count, reporting a clamp to
+// onClamp when provided and falling back to the once-per-process log
+// otherwise.
+func resolveWorkers(workers int, onClamp func(requested, max int)) int {
 	max := runtime.GOMAXPROCS(0)
 	if workers <= 0 {
 		return max
 	}
 	if workers > max {
-		clampLogOnce.Do(func() {
-			log.Printf("campaign: clamping %d requested workers to GOMAXPROCS=%d", workers, max)
-		})
+		if onClamp != nil {
+			onClamp(workers, max)
+		} else {
+			clampLogOnce.Do(func() {
+				log.Printf("campaign: clamping %d requested workers to GOMAXPROCS=%d", workers, max)
+			})
+		}
 		return max
 	}
 	return workers
+}
+
+// Options configures a campaign beyond the worker count. The zero value is
+// valid and matches the plain Run/RunPooled behaviour.
+type Options struct {
+	// Workers bounds the worker pool: <= 0 means GOMAXPROCS, 1 recovers
+	// serial execution; requests beyond GOMAXPROCS are clamped.
+	Workers int
+	// OnClamp, when non-nil, observes a worker-count clamp instead of the
+	// once-per-process default log — library users and tests inject it to
+	// count or silence the warning.
+	OnClamp func(requested, max int)
+	// OnRunDone, when non-nil, is invoked after every successfully completed
+	// run with its run index. With more than one worker it is called
+	// concurrently from the worker goroutines, in completion order — which
+	// is scheduling-dependent, so OnRunDone is for wall-clock progress
+	// reporting (see metrics.Progress.RunDone) and must never feed
+	// deterministic outputs.
+	OnRunDone func(run int)
 }
 
 // Run executes fn(0) .. fn(runs-1) on a pool of the given number of workers
@@ -61,85 +93,19 @@ func Workers(workers int) int {
 // goroutine and the first error aborts the loop immediately, exactly like
 // the pre-engine serial campaign loops.
 func Run[T any](workers, runs int, fn func(run int) (T, error)) ([]T, error) {
-	if runs < 0 {
-		return nil, fmt.Errorf("campaign: negative run count %d", runs)
-	}
+	return RunWith(Options{Workers: workers}, runs, fn)
+}
+
+// RunWith is Run with the full option set (injectable clamp observer,
+// completion callback). The determinism contract is unchanged: the options
+// affect only what is observed about the campaign, never its results.
+func RunWith[T any](o Options, runs int, fn func(run int) (T, error)) ([]T, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("campaign: nil run function")
 	}
-	workers = Workers(workers)
-	if workers > runs {
-		workers = runs
-	}
-	results := make([]T, runs)
-	if workers <= 1 {
-		for run := 0; run < runs; run++ {
-			v, err := fn(run)
-			if err != nil {
-				return nil, fmt.Errorf("campaign: run %d: %w", run, err)
-			}
-			results[run] = v
-		}
-		return results, nil
-	}
-
-	var (
-		jobs = make(chan int)
-		quit = make(chan struct{})
-		wg   sync.WaitGroup
-
-		mu       sync.Mutex
-		once     sync.Once
-		firstRun = -1
-		firstErr error
-	)
-	fail := func(run int, err error) {
-		mu.Lock()
-		if firstRun < 0 || run < firstRun {
-			firstRun, firstErr = run, err
-		}
-		mu.Unlock()
-		once.Do(func() { close(quit) })
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case run, ok := <-jobs:
-					if !ok {
-						return
-					}
-					v, err := fn(run)
-					if err != nil {
-						fail(run, err)
-						return
-					}
-					// Index-addressed write: no two runs share an index, so
-					// the slice needs no lock and the final content is
-					// independent of which worker executed which run.
-					results[run] = v
-				case <-quit:
-					return
-				}
-			}
-		}()
-	}
-dispatch:
-	for run := 0; run < runs; run++ {
-		select {
-		case jobs <- run:
-		case <-quit:
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, fmt.Errorf("campaign: run %d: %w", firstRun, firstErr)
-	}
-	return results, nil
+	return RunPooledWith(o, runs,
+		func() (struct{}, error) { return struct{}{}, nil },
+		func(_ struct{}, run int) (T, error) { return fn(run) })
 }
 
 // RunPooled is Run with per-worker reusable state: newState builds one state
@@ -155,6 +121,12 @@ dispatch:
 // first action — so that a run's result never depends on which runs the
 // worker executed before it.
 func RunPooled[S, T any](workers, runs int, newState func() (S, error), fn func(state S, run int) (T, error)) ([]T, error) {
+	return RunPooledWith(Options{Workers: workers}, runs, newState, fn)
+}
+
+// RunPooledWith is RunPooled with the full option set; it is the engine the
+// other entry points delegate to.
+func RunPooledWith[S, T any](o Options, runs int, newState func() (S, error), fn func(state S, run int) (T, error)) ([]T, error) {
 	if runs < 0 {
 		return nil, fmt.Errorf("campaign: negative run count %d", runs)
 	}
@@ -164,7 +136,7 @@ func RunPooled[S, T any](workers, runs int, newState func() (S, error), fn func(
 	if fn == nil {
 		return nil, fmt.Errorf("campaign: nil run function")
 	}
-	workers = Workers(workers)
+	workers := resolveWorkers(o.Workers, o.OnClamp)
 	if workers > runs {
 		workers = runs
 	}
@@ -180,6 +152,9 @@ func RunPooled[S, T any](workers, runs int, newState func() (S, error), fn func(
 				return nil, fmt.Errorf("campaign: run %d: %w", run, err)
 			}
 			results[run] = v
+			if o.OnRunDone != nil {
+				o.OnRunDone(run)
+			}
 		}
 		return results, nil
 	}
@@ -225,7 +200,13 @@ func RunPooled[S, T any](workers, runs int, newState func() (S, error), fn func(
 						fail(run, err)
 						return
 					}
+					// Index-addressed write: no two runs share an index, so
+					// the slice needs no lock and the final content is
+					// independent of which worker executed which run.
 					results[run] = v
+					if o.OnRunDone != nil {
+						o.OnRunDone(run)
+					}
 				case <-quit:
 					return
 				}

@@ -159,3 +159,77 @@ func TestWorkersResolution(t *testing.T) {
 		t.Fatalf("Workers(-2) = %d, want %d", got, max)
 	}
 }
+
+// TestOnClampObserver checks the injectable clamp callback: it replaces the
+// once-per-process log, fires with the requested and resolved counts, and
+// still clamps.
+func TestOnClampObserver(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	var gotRequested, gotMax int
+	calls := 0
+	o := Options{
+		Workers: max + 7,
+		OnClamp: func(requested, m int) { calls++; gotRequested, gotMax = requested, m },
+	}
+	results, err := RunWith(o, 2*max+4, func(run int) (int, error) { return run, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2*max+4 {
+		t.Fatalf("results len = %d", len(results))
+	}
+	if calls != 1 || gotRequested != max+7 || gotMax != max {
+		t.Fatalf("OnClamp calls=%d requested=%d max=%d, want 1, %d, %d", calls, gotRequested, gotMax, max+7, max)
+	}
+	// No clamp, no callback.
+	calls = 0
+	if _, err := RunWith(Options{Workers: 1, OnClamp: func(int, int) { calls++ }}, 4,
+		func(run int) (int, error) { return run, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("OnClamp fired %d times without a clamp", calls)
+	}
+}
+
+// TestOnRunDone checks the completion callback: every successful run is
+// reported exactly once, at any worker count, and failed runs are not.
+func TestOnRunDone(t *testing.T) {
+	const runs = 24
+	for _, workers := range []int{1, 4} {
+		var done int64
+		var seen [runs]int64
+		o := Options{Workers: workers, OnRunDone: func(run int) {
+			atomic.AddInt64(&done, 1)
+			atomic.AddInt64(&seen[run], 1)
+		}}
+		if _, err := RunPooledWith(o, runs,
+			func() (int, error) { return 0, nil },
+			func(_ int, run int) (int, error) { return run, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if done != runs {
+			t.Fatalf("workers=%d: OnRunDone fired %d times, want %d", workers, done, runs)
+		}
+		for run := range seen {
+			if seen[run] != 1 {
+				t.Fatalf("workers=%d: run %d reported %d times", workers, run, seen[run])
+			}
+		}
+	}
+	// A failing run must not be reported as done.
+	var done int64
+	_, err := RunWith(Options{Workers: 1, OnRunDone: func(int) { atomic.AddInt64(&done, 1) }}, 4,
+		func(run int) (int, error) {
+			if run == 2 {
+				return 0, errors.New("boom")
+			}
+			return run, nil
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if done != 2 {
+		t.Fatalf("OnRunDone fired %d times before the serial abort, want 2", done)
+	}
+}

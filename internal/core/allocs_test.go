@@ -11,11 +11,14 @@ import (
 	"testing"
 
 	"ttdiag/internal/invariant"
+	"ttdiag/internal/metrics"
 )
 
 // stepAllocProtocol builds a steady-state protocol plus a step closure for
-// the allocation measurements below.
-func stepAllocProtocol(t *testing.T, n int, packed bool) func() {
+// the allocation measurements below. withMetrics attaches the full
+// StepMetrics instrument set (counters, gauge — the fixed-cost telemetry
+// every campaign run carries when metrics are on).
+func stepAllocProtocol(t *testing.T, n int, packed, withMetrics bool) func() {
 	t.Helper()
 	p, err := newProtocol(Config{
 		N: n, ID: 1, L: 0, SendCurrRound: true,
@@ -23,6 +26,9 @@ func stepAllocProtocol(t *testing.T, n int, packed bool) func() {
 	}, packed)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if withMetrics {
+		p.SetMetrics(NewStepMetrics(metrics.New()))
 	}
 	dms := make([]Syndrome, n+1)
 	for j := 1; j <= n; j++ {
@@ -50,18 +56,24 @@ func TestProtocolStepAllocs(t *testing.T) {
 		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
 	}
 	cases := []struct {
-		name    string
-		n       int
-		packed  bool
-		ceiling float64
+		name        string
+		n           int
+		packed      bool
+		withMetrics bool
+		ceiling     float64
 	}{
-		{"packed_n4", 4, true, 1},
-		{"packed_n64", 64, true, 1},
-		{"scalar_n4", 4, false, 2},
+		{"packed_n4", 4, true, false, 1},
+		{"packed_n64", 64, true, false, 1},
+		{"scalar_n4", 4, false, false, 2},
+		// Telemetry attached: the instruments are preallocated int64 cells
+		// updated in place, so the ceilings do not move.
+		{"packed_n4_metrics", 4, true, true, 1},
+		{"packed_n64_metrics", 64, true, true, 1},
+		{"scalar_n4_metrics", 4, false, true, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			step := stepAllocProtocol(t, tc.n, tc.packed)
+			step := stepAllocProtocol(t, tc.n, tc.packed, tc.withMetrics)
 			// Warm past the diagnosis lag so every measured Step emits a
 			// full round output.
 			for i := 0; i < 16; i++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"ttdiag/internal/metrics"
 	"ttdiag/internal/rng"
 )
 
@@ -73,6 +74,60 @@ func BenchmarkVoteAllScalar(b *testing.B) {
 				_ = m.voteAllScalar()
 			}
 		})
+	}
+}
+
+// benchStepProtocol builds a warmed steady-state protocol plus its healthy
+// round input for the Step telemetry-overhead benchmarks.
+func benchStepProtocol(b *testing.B, n int, withMetrics bool) func(round int) {
+	b.Helper()
+	p, err := NewProtocol(Config{
+		N: n, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 1 << 50, RewardThreshold: 1 << 50},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if withMetrics {
+		p.SetMetrics(NewStepMetrics(metrics.New()))
+	}
+	dms := make([]Syndrome, n+1)
+	for j := 1; j <= n; j++ {
+		dms[j] = NewSyndrome(n, Healthy)
+	}
+	validity := NewSyndrome(n, Healthy)
+	collision := func(int) Opinion { return Healthy }
+	step := func(round int) {
+		in := RoundInput{Round: round, DMs: dms, Validity: validity, Collision: collision}
+		if _, err := p.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		step(i)
+	}
+	return step
+}
+
+// BenchmarkStepMetrics measures the telemetry cost of one protocol
+// execution: "off" is the nil-attachment baseline (one branch), "on" pays
+// the full StepMetrics instrument set. Tracked in BENCH_metrics.json.
+func BenchmarkStepMetrics(b *testing.B) {
+	for _, n := range []int{4, 64} {
+		for _, withMetrics := range []bool{false, true} {
+			mode := "off"
+			if withMetrics {
+				mode = "on"
+			}
+			b.Run(fmt.Sprintf("n%d_%s", n, mode), func(b *testing.B) {
+				step := benchStepProtocol(b, n, withMetrics)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					step(16 + i)
+				}
+			})
+		}
 	}
 }
 

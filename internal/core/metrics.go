@@ -1,0 +1,121 @@
+package core
+
+import "ttdiag/internal/metrics"
+
+// StepMetrics bundles the per-node protocol instruments one Protocol emits
+// into on every Step/StepPacked. All fields are optional: a nil instrument
+// is skipped (metrics.Counter et al. are nil-safe no-ops), and a Protocol
+// with no StepMetrics attached pays a single nil check — zero extra
+// allocations — per Step.
+//
+// Every emitted value derives from simulated quantities (rounds, counts,
+// penalty counters), never from wall-clock time, so attached metrics keep
+// the bit-identical campaign contract intact. Emission happens on the warm
+// path with mask arithmetic only; the Step allocation ceilings hold with
+// metrics attached (see allocs_test.go).
+type StepMetrics struct {
+	// Steps counts protocol executions.
+	Steps *metrics.Counter
+	// Vote-outcome counts, one increment per matrix column per warm round,
+	// classified from the H-maj tally (Eqn. 1): ⊥ when no opinions at all,
+	// Faulty on a strict majority, Healthy otherwise. VotesTied counts the
+	// Healthy verdicts that were exact non-zero ties.
+	VotesHealthy *metrics.Counter
+	VotesFaulty  *metrics.Counter
+	VotesBottom  *metrics.Counter
+	VotesTied    *metrics.Counter
+	// Disagreements counts definite matrix opinions that differ from the
+	// round's agreed health vector (syndrome disagreement).
+	Disagreements *metrics.Counter
+	// Accusations counts minority accusations raised (membership mode), and
+	// Isolations/Reintegrations count penalty/reward threshold crossings.
+	Accusations    *metrics.Counter
+	Isolations     *metrics.Counter
+	Reintegrations *metrics.Counter
+	// PenaltyMax is the high watermark of every node's penalty counter as
+	// seen by this protocol instance.
+	PenaltyMax *metrics.Gauge
+	// PenaltySeries, when non-nil, records node j's penalty counter after
+	// every warm execution as a (diagnosed round, penalty) point in
+	// PenaltySeries[j] (1-based; nil entries are skipped). Attach the
+	// trajectory variant to ONE observer of ONE run only — series cannot be
+	// merged across registries, and every obedient observer sees the same
+	// counters anyway (Theorem 1 consistency).
+	PenaltySeries []*metrics.Series
+}
+
+// NewStepMetrics wires a StepMetrics to the registry under the standard
+// protocol instrument names. A nil registry yields a StepMetrics whose
+// instruments are all nil (every update a no-op); callers that want true
+// zero overhead should skip SetMetrics entirely in that case.
+func NewStepMetrics(reg *metrics.Registry) *StepMetrics {
+	return &StepMetrics{
+		Steps:          reg.Counter("protocol/steps"),
+		VotesHealthy:   reg.Counter("vote/healthy"),
+		VotesFaulty:    reg.Counter("vote/faulty"),
+		VotesBottom:    reg.Counter("vote/bottom"),
+		VotesTied:      reg.Counter("vote/tied"),
+		Disagreements:  reg.Counter("matrix/disagreements"),
+		Accusations:    reg.Counter("membership/accusations"),
+		Isolations:     reg.Counter("pr/isolations"),
+		Reintegrations: reg.Counter("pr/reintegrations"),
+		PenaltyMax:     reg.Gauge("pr/penalty_max"),
+	}
+}
+
+// SetMetrics attaches (or, with nil, detaches) the protocol's telemetry.
+// The attachment survives Reset and ResetConfig so reusable campaign
+// clusters keep accumulating across repetitions; pass nil to stop emitting.
+// The instruments are updated from whichever goroutine calls Step, so in
+// concurrent runtimes each protocol needs instruments from its own
+// registry, merged after the run (see internal/metrics).
+func (p *Protocol) SetMetrics(m *StepMetrics) { p.metrics = m }
+
+// Metrics returns the attached telemetry, nil when none.
+func (p *Protocol) Metrics() *StepMetrics { return p.metrics }
+
+// emitStepMetrics records one execution's observations; called only when
+// p.metrics != nil, after the round's counters are updated. Cold (not yet
+// warm) executions emit the step count only — there is no matrix or health
+// vector to classify.
+func (p *Protocol) emitStepMetrics(out *RoundOutput, matrix *Matrix, warm bool) {
+	m := p.metrics
+	m.Steps.Inc()
+	m.Accusations.Add(int64(len(out.Accused)))
+	m.Isolations.Add(int64(len(out.Isolated)))
+	m.Reintegrations.Add(int64(len(out.Reintegrated)))
+	if !warm || matrix == nil {
+		return
+	}
+	n := p.cfg.N
+	for j := 1; j <= n; j++ {
+		faulty, healthy := matrix.Tally(j)
+		switch {
+		case faulty+healthy == 0:
+			m.VotesBottom.Inc()
+		case faulty > healthy:
+			m.VotesFaulty.Inc()
+		default:
+			m.VotesHealthy.Inc()
+			if faulty == healthy && faulty > 0 {
+				m.VotesTied.Inc()
+			}
+		}
+	}
+	if out.ConsHV != nil {
+		m.Disagreements.Add(int64(matrix.DisagreementCount(out.ConsHV)))
+	}
+	var maxPen int64
+	for j := 1; j <= n; j++ {
+		if v := p.pr.penalties[j]; v > maxPen {
+			maxPen = v
+		}
+	}
+	m.PenaltyMax.Observe(maxPen)
+	if m.PenaltySeries != nil {
+		round := int64(out.DiagnosedRound)
+		for j := 1; j <= n && j < len(m.PenaltySeries); j++ {
+			m.PenaltySeries[j].Append(round, p.pr.penalties[j])
+		}
+	}
+}

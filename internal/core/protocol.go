@@ -353,6 +353,11 @@ type Protocol struct {
 	pr    *PenaltyReward
 	steps int
 
+	// metrics is the optional telemetry attachment (SetMetrics); nil — the
+	// default — costs one branch per Step. It survives Reset/ResetConfig so
+	// reusable campaign clusters keep accumulating across repetitions.
+	metrics *StepMetrics
+
 	// packed selects the bit-plane hot path; set at construction for
 	// N <= MaxPackedN (tests force it off to exercise the scalar reference).
 	packed bool
@@ -752,6 +757,9 @@ func (p *Protocol) stepPacked(in PackedRoundInput) (RoundOutput, error) {
 	p.lastSent = outSyn
 	p.prevSentP = p.lastSentP
 	p.lastSentP = outBits
+	if p.metrics != nil {
+		p.emitStepMetrics(&out, matrix, warm)
+	}
 	p.ageAccusations()
 	p.steps++
 	if invariant.Enabled {
@@ -938,6 +946,9 @@ func (p *Protocol) stepScalar(in RoundInput) (RoundOutput, error) {
 	copy(wr.ls, in.Validity)
 	p.prevSent = p.lastSent
 	p.lastSent = outSyn
+	if p.metrics != nil {
+		p.emitStepMetrics(&out, matrix, warm)
+	}
 	p.ageAccusations()
 	p.steps++
 	if invariant.Enabled {

@@ -289,9 +289,18 @@ func (m *Matrix) Column(j int) []Opinion {
 // walks the column in place instead of materialising the vote slice. For all
 // columns at once, VoteAll is the word-parallel form.
 func (m *Matrix) Vote(j int) (Opinion, bool) {
+	return tallyVerdict(m.Tally(j))
+}
+
+// Tally counts the Faulty and Healthy opinions about column j — every non-ε
+// entry of the column except node j's opinion about itself (self-opinions
+// are discarded per Sec. 5). Vote is exactly tallyVerdict over this tally
+// (Eqn. 1: ⊥ when both counts are zero, Faulty on a strict majority,
+// Healthy otherwise including ties), so telemetry that classifies vote
+// outcomes can use the same counts the verdict was derived from.
+func (m *Matrix) Tally(j int) (faulty, healthy int) {
 	if m.op != nil {
 		bit := uint64(1) << uint(j-1)
-		var faulty, healthy int
 		for rows := m.rowSet &^ bit; rows != 0; rows &= rows - 1 {
 			i := bits.TrailingZeros64(rows) + 1
 			if m.know[i]&bit == 0 {
@@ -303,9 +312,8 @@ func (m *Matrix) Vote(j int) (Opinion, bool) {
 				faulty++
 			}
 		}
-		return tallyVerdict(faulty, healthy)
+		return faulty, healthy
 	}
-	var faulty, healthy int
 	for i := 1; i <= m.n; i++ {
 		if i == j {
 			continue
@@ -317,7 +325,45 @@ func (m *Matrix) Vote(j int) (Opinion, bool) {
 			healthy++
 		}
 	}
-	return tallyVerdict(faulty, healthy)
+	return faulty, healthy
+}
+
+// DisagreementCount counts the definite (non-ε) off-self-column opinions
+// that differ from the agreed health vector — the per-round "syndrome
+// disagreement" telemetry of the diagnostic matrix. On a packed matrix this
+// is pure mask arithmetic and allocates nothing.
+func (m *Matrix) DisagreementCount(consHV Syndrome) int {
+	total := 0
+	if m.op != nil {
+		all := PlaneMask(m.n)
+		cons := packSyndrome(consHV)
+		for rows := m.rowSet; rows != 0; rows &= rows - 1 {
+			i := bits.TrailingZeros64(rows) + 1
+			conflict := m.know[i] & cons.Known & (m.op[i] ^ cons.Op) & all &^ (uint64(1) << uint(i-1))
+			total += bits.OnesCount64(conflict)
+		}
+		return total
+	}
+	for i := 1; i <= m.n; i++ {
+		row := m.Row(i)
+		if row == nil {
+			continue
+		}
+		for j := 1; j <= m.n; j++ {
+			if j == i || j >= len(consHV) {
+				continue
+			}
+			v := row[j]
+			if v != Faulty && v != Healthy {
+				continue
+			}
+			c := consHV[j]
+			if (c == Faulty || c == Healthy) && v != c {
+				total++
+			}
+		}
+	}
+	return total
 }
 
 // VoteAll runs H-maj over every column at once and returns the result as a

@@ -139,7 +139,7 @@ func runScaleResilience(p Params) error {
 // fault mix and its run index, so the count is worker-count independent.
 func resilienceRuns(n, a, s, b, runs, workers int, src *rng.Source) (int, error) {
 	failed, err := campaign.RunPooled(workers, runs,
-		newDiagWorker(src, sim.ClusterConfig{
+		newDiagWorker(Params{}, nil, "scale", src, sim.ClusterConfig{
 			N: n, RoundLen: sim.DefaultRoundLen * time.Duration(n) / 4,
 		}),
 		func(w *diagWorker, run int) (bool, error) {

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ttdiag/internal/campaign"
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
+)
+
+// workerSet returns a fresh per-campaign WorkerSet when metrics collection
+// is on, nil otherwise. A nil WorkerSet hands every worker a nil Registry,
+// which keeps the campaign on the zero-overhead metrics-off path.
+func (p Params) workerSet() *metrics.WorkerSet {
+	if p.Metrics == nil {
+		return nil
+	}
+	return metrics.NewWorkerSet()
+}
+
+// campaignOpts translates the experiment parameters into campaign options:
+// worker bound plus the optional progress callback.
+func (p Params) campaignOpts() campaign.Options {
+	return campaign.Options{Workers: p.Workers, OnRunDone: p.Progress}
+}
+
+// recordMetrics merges the campaign's per-worker registries and files the
+// aggregate under the experiment ID. The merge is where worker-count
+// invariance is realised, so it runs even when the set has a single
+// registry.
+func (p Params) recordMetrics(id string, ws *metrics.WorkerSet) error {
+	if p.Metrics == nil {
+		return nil
+	}
+	snap, err := ws.Merged()
+	if err != nil {
+		return fmt.Errorf("experiments: %s metrics: %w", id, err)
+	}
+	p.Metrics.Set(id, snap)
+	return nil
+}
+
+// traceRun emits the KindNote boundary event that demarcates one campaign
+// repetition in the trace stream. Rounds restart from zero at every
+// repetition (the reusable clusters rewind their engines), so the boundary
+// notes are what keeps a multi-run JSONL stream parseable per run.
+func (p Params) traceRun(class string, run int) {
+	if p.Trace == nil {
+		return
+	}
+	p.Trace.Record(trace.Event{
+		Kind:   trace.KindNote,
+		Detail: fmt.Sprintf("%s run %d", class, run),
+	})
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
+)
+
+// sec8IDs are the instrumented validation campaigns of Sec. 8.
+var sec8IDs = []string{"sec8-bursts", "sec8-pr", "sec8-malicious", "sec8-clique"}
+
+// reportJSON runs one experiment with metrics collection on and returns the
+// marshaled report bytes.
+func reportJSON(t *testing.T, id string, workers int) []byte {
+	t.Helper()
+	rep := metrics.NewReport("test", 7, 2)
+	var out bytes.Buffer
+	if err := Run(id, Params{Seed: 7, Runs: 2, Workers: workers, Out: &out, Metrics: rep}); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsWorkerCountInvariance is the telemetry counterpart of
+// TestCampaignWorkerCountInvariance: the merged metrics report of every
+// Sec. 8 campaign must be byte-identical whether the repetitions run
+// serially or on eight workers. Run under -race -cpu=1,4 by scripts/check.sh
+// and CI, where the workers genuinely run concurrently.
+func TestMetricsWorkerCountInvariance(t *testing.T) {
+	for _, id := range sec8IDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := reportJSON(t, id, 1)
+			parallel := reportJSON(t, id, 8)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("metrics report differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- 8 workers ---\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestMetricsReportCoverage checks the acceptance surface of the report:
+// every Sec. 8 campaign must deliver vote-outcome counts, ground-truth
+// transmission outcomes and run-0 penalty trajectories, and the latency
+// histogram must be present (with observations where the campaign isolates).
+func TestMetricsReportCoverage(t *testing.T) {
+	rep := metrics.NewReport("test", 7, 2)
+	for _, id := range sec8IDs {
+		if err := Run(id, Params{Seed: 7, Runs: 2, Workers: 1, Metrics: rep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range sec8IDs {
+		snap := rep.Snapshot(id)
+		if snap.Counters["protocol/steps"] == 0 {
+			t.Fatalf("%s: no protocol steps recorded", id)
+		}
+		if snap.Counters["vote/healthy"]+snap.Counters["vote/faulty"]+snap.Counters["vote/bottom"] == 0 {
+			t.Fatalf("%s: no vote outcomes recorded: %v", id, snap.Counters)
+		}
+		if snap.Counters["tx/correct"] == 0 {
+			t.Fatalf("%s: no ground-truth transmissions recorded", id)
+		}
+		if _, ok := snap.Histograms["pr/isolation_latency_rounds"]; !ok {
+			t.Fatalf("%s: isolation latency histogram missing", id)
+		}
+		var trajectories int
+		for name, s := range snap.Series {
+			if !strings.Contains(name, "/penalty/node") {
+				t.Fatalf("%s: unexpected series %q", id, name)
+			}
+			if len(s.Rounds) == 0 {
+				t.Fatalf("%s: empty penalty trajectory %q", id, name)
+			}
+			trajectories++
+		}
+		if trajectories == 0 {
+			t.Fatalf("%s: no penalty trajectories recorded", id)
+		}
+	}
+	// The injected faults must actually show up in the ground truth and the
+	// penalty counters somewhere in the campaign set.
+	bursts := rep.Snapshot("sec8-bursts")
+	if bursts.Counters["tx/benign"] == 0 {
+		t.Fatalf("burst campaign recorded no collisions: %v", bursts.Counters)
+	}
+	pr := rep.Snapshot("sec8-pr")
+	if pr.Gauges["pr/penalty_max"] == 0 {
+		t.Fatalf("p/r campaign recorded no penalty growth: %v", pr.Gauges)
+	}
+	clique := rep.Snapshot("sec8-clique")
+	if clique.Counters["membership/view_changes"] == 0 {
+		t.Fatalf("clique campaign recorded no view changes: %v", clique.Counters)
+	}
+}
+
+// TestMetricsDoNotPerturbRenderedOutput: collecting metrics must not change
+// a single byte of the rendered artifact (instrumentation never consumes
+// randomness or reorders work).
+func TestMetricsDoNotPerturbRenderedOutput(t *testing.T) {
+	render := func(rep *metrics.Report) string {
+		var buf bytes.Buffer
+		if err := Run("sec8-pr", Params{Seed: 7, Runs: 2, Workers: 1, Out: &buf, Metrics: rep}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	plain := render(nil)
+	instrumented := render(metrics.NewReport("test", 7, 2))
+	if plain != instrumented {
+		t.Fatalf("metrics collection changed the rendered output:\n--- off ---\n%s\n--- on ---\n%s", plain, instrumented)
+	}
+}
+
+// TestTraceRunBoundaries: with a trace sink attached and one worker, the
+// stream carries one KindNote boundary per repetition plus the engines'
+// simulation events.
+func TestTraceRunBoundaries(t *testing.T) {
+	var rec trace.Recorder
+	if err := Run("sec8-pr", Params{Seed: 7, Runs: 3, Workers: 1, Trace: &rec}); err != nil {
+		t.Fatal(err)
+	}
+	notes := rec.Filter(trace.KindNote)
+	if len(notes) != 3 {
+		t.Fatalf("got %d run-boundary notes, want 3: %v", len(notes), notes)
+	}
+	for i, n := range notes {
+		want := "sec8-pr run " + string(rune('0'+i))
+		if n.Detail != want {
+			t.Fatalf("note %d = %q, want %q", i, n.Detail, want)
+		}
+	}
+	if len(rec.Filter(trace.KindJobRun)) == 0 {
+		t.Fatalf("trace carried no simulation events")
+	}
+}

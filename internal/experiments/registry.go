@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
 )
 
 // Params controls an experiment run.
@@ -25,6 +28,20 @@ type Params struct {
 	Workers int
 	// Out receives the rendered artifact.
 	Out io.Writer
+	// Metrics, when non-nil, receives one merged deterministic snapshot per
+	// instrumented experiment (keyed by experiment ID). The snapshot is
+	// bit-identical at any Workers setting; see internal/metrics.
+	Metrics *metrics.Report
+	// Trace, when non-nil, receives the simulation trace of every campaign
+	// repetition plus one KindNote boundary event per run. Event order is
+	// deterministic only with Workers == 1 (the CLI's -trace flag forces
+	// that); with more workers the sink must be safe for concurrent use and
+	// the interleaving reflects scheduling.
+	Trace trace.Sink
+	// Progress, when non-nil, observes every completed repetition
+	// (campaign.Options.OnRunDone): wall-clock-side progress reporting that
+	// never feeds the rendered artifact or the metrics report.
+	Progress func(run int)
 }
 
 func (p Params) withDefaults() Params {

@@ -6,6 +6,7 @@ import (
 	"ttdiag/internal/campaign"
 	"ttdiag/internal/core"
 	"ttdiag/internal/fault"
+	"ttdiag/internal/metrics"
 	"ttdiag/internal/rng"
 	"ttdiag/internal/sim"
 	"ttdiag/internal/tdma"
@@ -71,55 +72,149 @@ var prototypeLs = []int{2, 0, 3, 1}
 
 // diagWorker is the reusable per-worker state of a pooled diagnostic
 // campaign: one cluster, one stream pool and one collector, reset/recycled
-// per repetition.
+// per repetition, plus the worker's telemetry instruments when the campaign
+// collects metrics (reg is nil otherwise and every metrics hook is a no-op).
 type diagWorker struct {
-	cl  *sim.DiagCluster
-	rng *rng.Pool
-	col *sim.Collector
+	cl    *sim.DiagCluster
+	rng   *rng.Pool
+	col   *sim.Collector
+	reg   *metrics.Registry
+	sm    *core.StepMetrics // counter/gauge instruments, all runs
+	sm0   *core.StepMetrics // run-0 variant with penalty trajectories, lazy
+	sys   *sim.RunMetrics
+	class string // unique series-name prefix of this campaign class
 }
 
-func newDiagWorker(src *rng.Source, cfg sim.ClusterConfig) func() (*diagWorker, error) {
+func newDiagWorker(p Params, ws *metrics.WorkerSet, class string, src *rng.Source, cfg sim.ClusterConfig) func() (*diagWorker, error) {
 	return func() (*diagWorker, error) {
+		cfg.Sink = p.Trace
 		cl, err := sim.NewReusableDiagnosticCluster(cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &diagWorker{cl: cl, rng: src.NewPool(), col: sim.NewCollector()}, nil
+		w := &diagWorker{cl: cl, rng: src.NewPool(), col: sim.NewCollector(), class: class}
+		if reg := ws.Worker(); reg != nil {
+			w.reg = reg
+			w.sm = core.NewStepMetrics(reg)
+			w.sys = sim.NewRunMetrics(reg)
+		}
+		return w, nil
 	}
 }
 
-// reset readies the worker for the next repetition. Recycling the streams is
+// begin readies the worker for repetition run. Recycling the streams is
 // safe here because the cluster reset has already dropped the disturbances
-// that could still hold one.
-func (w *diagWorker) reset() (*sim.Engine, []*sim.DiagRunner) {
+// that could still hold one. With metrics on, every protocol gets the
+// worker's shared instruments (the lock-step engine steps them from one
+// goroutine); run 0's node-1 observer additionally records the penalty
+// trajectories — one observer, one run, as StepMetrics requires.
+func (w *diagWorker) begin(run int) (*sim.Engine, []*sim.DiagRunner) {
 	w.cl.Reset()
 	w.rng.Recycle()
 	w.col.Reset()
+	if w.sm != nil {
+		for id := 1; id < len(w.cl.Runners); id++ {
+			w.cl.Runners[id].Protocol().SetMetrics(w.sm)
+		}
+		if run == 0 {
+			w.cl.Runners[1].Protocol().SetMetrics(w.run0Metrics())
+		}
+	}
 	return w.cl.Eng, w.cl.Runners
+}
+
+// run0Metrics builds (once) the StepMetrics variant that also appends the
+// per-node penalty trajectories, named under the campaign class so series
+// stay unique across the whole report.
+func (w *diagWorker) run0Metrics() *core.StepMetrics {
+	if w.sm0 == nil {
+		sm := *w.sm
+		n := len(w.cl.Runners) - 1
+		sm.PenaltySeries = make([]*metrics.Series, n+1)
+		for j := 1; j <= n; j++ {
+			sm.PenaltySeries[j] = w.reg.Series(fmt.Sprintf("%s/penalty/node%d", w.class, j), 256)
+		}
+		w.sm0 = &sm
+	}
+	return w.sm0
+}
+
+// observe folds the completed repetition's system-level ground truth into
+// the worker's registry; a no-op with metrics off.
+func (w *diagWorker) observe(eng *sim.Engine) {
+	if w.sys == nil {
+		return
+	}
+	w.sys.ObserveTruth(eng)
+	w.sys.ObserveIsolationLatency(eng, w.col)
 }
 
 // memWorker is the membership counterpart of diagWorker.
 type memWorker struct {
-	cl  *sim.MembershipCluster
-	rng *rng.Pool
-	col *sim.Collector
+	cl    *sim.MembershipCluster
+	rng   *rng.Pool
+	col   *sim.Collector
+	reg   *metrics.Registry
+	sm    *core.StepMetrics
+	sm0   *core.StepMetrics
+	sys   *sim.RunMetrics
+	class string
 }
 
-func newMemWorker(src *rng.Source, cfg sim.ClusterConfig) func() (*memWorker, error) {
+func newMemWorker(p Params, ws *metrics.WorkerSet, class string, src *rng.Source, cfg sim.ClusterConfig) func() (*memWorker, error) {
 	return func() (*memWorker, error) {
+		cfg.Sink = p.Trace
 		cl, err := sim.NewReusableMembershipCluster(cfg)
 		if err != nil {
 			return nil, err
 		}
-		return &memWorker{cl: cl, rng: src.NewPool(), col: sim.NewCollector()}, nil
+		w := &memWorker{cl: cl, rng: src.NewPool(), col: sim.NewCollector(), class: class}
+		if reg := ws.Worker(); reg != nil {
+			w.reg = reg
+			w.sm = core.NewStepMetrics(reg)
+			w.sys = sim.NewRunMetrics(reg)
+		}
+		return w, nil
 	}
 }
 
-func (w *memWorker) reset() (*sim.Engine, []*sim.MembershipRunner) {
+func (w *memWorker) begin(run int) (*sim.Engine, []*sim.MembershipRunner) {
 	w.cl.Reset()
 	w.rng.Recycle()
 	w.col.Reset()
+	if w.sm != nil {
+		for id := 1; id < len(w.cl.Runners); id++ {
+			w.cl.Runners[id].Service().Protocol().SetMetrics(w.sm)
+		}
+		if run == 0 {
+			w.cl.Runners[1].Service().Protocol().SetMetrics(w.run0Metrics())
+		}
+	}
 	return w.cl.Eng, w.cl.Runners
+}
+
+func (w *memWorker) run0Metrics() *core.StepMetrics {
+	if w.sm0 == nil {
+		sm := *w.sm
+		n := len(w.cl.Runners) - 1
+		sm.PenaltySeries = make([]*metrics.Series, n+1)
+		for j := 1; j <= n; j++ {
+			sm.PenaltySeries[j] = w.reg.Series(fmt.Sprintf("%s/penalty/node%d", w.class, j), 256)
+		}
+		w.sm0 = &sm
+	}
+	return w.sm0
+}
+
+// observe additionally folds the membership view transitions, which only
+// exist on this worker kind.
+func (w *memWorker) observe(eng *sim.Engine, runners []*sim.MembershipRunner) {
+	if w.sys == nil {
+		return
+	}
+	w.sys.ObserveTruth(eng)
+	w.sys.ObserveIsolationLatency(eng, w.col)
+	w.sys.ObserveViews(runners)
 }
 
 // runVerdict is the outcome of one campaign repetition: pass, or the audit
@@ -152,14 +247,17 @@ func foldRow(class string, verdicts []runVerdict) CampaignRow {
 func BurstCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
 	src := rng.NewSource(p.Seed)
+	ws := p.workerSet()
 	var rows []CampaignRow
 	for _, slots := range []int{1, 2, 8} {
 		for startSlot := 1; startSlot <= 4; startSlot++ {
 			slots, startSlot := slots, startSlot
-			verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
-				newDiagWorker(src, sim.ClusterConfig{Ls: prototypeLs}),
+			class := fmt.Sprintf("sec8-bursts/%d-from-%d", slots, startSlot)
+			verdicts, err := campaign.RunPooledWith(p.campaignOpts(), p.Runs,
+				newDiagWorker(p, ws, class, src, sim.ClusterConfig{Ls: prototypeLs}),
 				func(w *diagWorker, run int) (runVerdict, error) {
-					eng, runners := w.reset()
+					eng, runners := w.begin(run)
+					p.traceRun(class, run)
 					stream := w.rng.Stream(fmt.Sprintf("sec8-bursts/%d-from-%d/run-%d", slots, startSlot, run))
 					injectRound := 5 + stream.Intn(6)
 					col := w.col
@@ -171,6 +269,7 @@ func BurstCampaign(p Params) ([]CampaignRow, error) {
 					if err := eng.RunRounds(injectRound + 10); err != nil {
 						return runVerdict{}, err
 					}
+					w.observe(eng)
 					if err := sim.AuditTheorem1(eng, col, []int{1, 2, 3, 4}, 4, injectRound+6); err != nil {
 						return runVerdict{failure: err.Error()}, nil
 					}
@@ -182,6 +281,9 @@ func BurstCampaign(p Params) ([]CampaignRow, error) {
 			rows = append(rows, foldRow(
 				fmt.Sprintf("burst %d slot(s) from slot %d", slots, startSlot), verdicts))
 		}
+	}
+	if err := p.recordMetrics("sec8-bursts", ws); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -200,13 +302,15 @@ func runSec8Bursts(p Params) error {
 func PRCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
 	src := rng.NewSource(p.Seed)
-	verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
-		newDiagWorker(src, sim.ClusterConfig{
+	ws := p.workerSet()
+	verdicts, err := campaign.RunPooledWith(p.campaignOpts(), p.Runs,
+		newDiagWorker(p, ws, "sec8-pr", src, sim.ClusterConfig{
 			Ls: prototypeLs,
 			PR: core.PRConfig{PenaltyThreshold: 1 << 30, RewardThreshold: 100},
 		}),
 		func(w *diagWorker, run int) (runVerdict, error) {
-			eng, runners := w.reset()
+			eng, runners := w.begin(run)
+			p.traceRun("sec8-pr", run)
 			stream := w.rng.Stream(fmt.Sprintf("sec8-pr/run-%d", run))
 			startRound := 6 + stream.Intn(4)
 			target := 1 + stream.Intn(4)
@@ -218,6 +322,7 @@ func PRCampaign(p Params) ([]CampaignRow, error) {
 			if err := eng.RunRounds(startRound + 30); err != nil {
 				return runVerdict{}, err
 			}
+			w.observe(eng)
 			v := runVerdict{pass: true}
 			for id := 1; id <= 4; id++ {
 				pr := runners[id].Protocol().PenaltyReward()
@@ -230,6 +335,9 @@ func PRCampaign(p Params) ([]CampaignRow, error) {
 			return v, nil
 		})
 	if err != nil {
+		return nil, err
+	}
+	if err := p.recordMetrics("sec8-pr", ws); err != nil {
 		return nil, err
 	}
 	return []CampaignRow{foldRow("fault every 2nd round for 20 rounds", verdicts)}, nil
@@ -249,13 +357,16 @@ func runSec8PR(p Params) error {
 func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
 	src := rng.NewSource(p.Seed)
+	ws := p.workerSet()
 	var rows []CampaignRow
 	for mal := 1; mal <= 4; mal++ {
 		mal := mal
-		verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
-			newDiagWorker(src, sim.ClusterConfig{Ls: prototypeLs}),
+		class := fmt.Sprintf("sec8-malicious/node-%d", mal)
+		verdicts, err := campaign.RunPooledWith(p.campaignOpts(), p.Runs,
+			newDiagWorker(p, ws, class, src, sim.ClusterConfig{Ls: prototypeLs}),
 			func(w *diagWorker, run int) (runVerdict, error) {
-				eng, runners := w.reset()
+				eng, runners := w.begin(run)
+				p.traceRun(class, run)
 				col := w.col
 				for id := 1; id <= 4; id++ {
 					col.HookDiag(id, runners[id])
@@ -265,6 +376,7 @@ func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 				if err := eng.RunRounds(24); err != nil {
 					return runVerdict{}, err
 				}
+				w.observe(eng)
 				var obedient []int
 				for id := 1; id <= 4; id++ {
 					if id != mal {
@@ -289,6 +401,9 @@ func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 		}
 		rows = append(rows, foldRow(fmt.Sprintf("malicious node %d", mal), verdicts))
 	}
+	if err := p.recordMetrics("sec8-malicious", ws); err != nil {
+		return nil, err
+	}
 	return rows, nil
 }
 
@@ -308,10 +423,12 @@ func runSec8Malicious(p Params) error {
 func CliqueCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
 	src := rng.NewSource(p.Seed)
-	verdicts, err := campaign.RunPooled(p.Workers, p.Runs,
-		newMemWorker(src, sim.ClusterConfig{Ls: prototypeLs}),
+	ws := p.workerSet()
+	verdicts, err := campaign.RunPooledWith(p.campaignOpts(), p.Runs,
+		newMemWorker(p, ws, "sec8-clique", src, sim.ClusterConfig{Ls: prototypeLs}),
 		func(w *memWorker, run int) (runVerdict, error) {
-			eng, runners := w.reset()
+			eng, runners := w.begin(run)
+			p.traceRun("sec8-clique", run)
 			stream := w.rng.Stream(fmt.Sprintf("sec8-clique/run-%d", run))
 			faultRound := 6 + stream.Intn(6)
 			missedSender := tdma.NodeID(2 + stream.Intn(3))
@@ -322,6 +439,7 @@ func CliqueCampaign(p Params) ([]CampaignRow, error) {
 			if err := eng.RunRounds(faultRound + 14); err != nil {
 				return runVerdict{}, err
 			}
+			w.observe(eng, runners)
 			lag := runners[1].Service().Protocol().Config().Lag()
 			ref := runners[1].View()
 			for id := 1; id <= 4; id++ {
@@ -339,6 +457,9 @@ func CliqueCampaign(p Params) ([]CampaignRow, error) {
 			return runVerdict{pass: true}, nil
 		})
 	if err != nil {
+		return nil, err
+	}
+	if err := p.recordMetrics("sec8-clique", ws); err != nil {
 		return nil, err
 	}
 	return []CampaignRow{foldRow("minority clique {1} via asymmetric receive fault", verdicts)}, nil

@@ -36,6 +36,7 @@ var deterministicPkgs = []string{
 	"internal/fault",
 	"internal/lowlat",
 	"internal/membership",
+	"internal/metrics",
 	"internal/replay",
 }
 

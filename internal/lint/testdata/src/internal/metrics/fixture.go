@@ -1,0 +1,47 @@
+// Package metrics is a lint fixture for the telemetry layer: instruments
+// must never read the host clock and snapshots must never leak
+// map-iteration order; only the explicitly suppressed progress-reporter
+// pattern may touch wall-clock time. Never built by the real module
+// (testdata).
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Stamp reads the host clock into a would-be metric value — forbidden.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Export leaks map-iteration order into an emitted sequence — forbidden.
+func Export(counters map[string]int64) []int64 {
+	var out []int64
+	for _, v := range counters {
+		out = append(out, v)
+	}
+	return out
+}
+
+// SnapshotKeys is the sanctioned pattern: collect, sort, then emit.
+func SnapshotKeys(counters map[string]int64) []string {
+	keys := make([]string, 0, len(counters))
+	//lint:ignore no-map-range-state key collection precedes the sort below
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Rate is the progress-reporter exception: wall-clock reads are allowed
+// only under an explicit suppression that names the reason.
+func Rate(done int64, start time.Time) float64 {
+	//lint:ignore no-wallclock opt-in progress reporter; excluded from deterministic outputs
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(done) / elapsed.Seconds()
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import "testing"
+
+// BenchmarkMetricsCounterAdd is the per-update cost a hot loop pays with
+// metrics on.
+func BenchmarkMetricsCounterAdd(b *testing.B) {
+	c := New().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkMetricsCounterAddNop is the metrics-off cost: the nil check only.
+func BenchmarkMetricsCounterAddNop(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkMetricsHistogramObserve(b *testing.B) {
+	h := New().Histogram("h", 4, 8, 16, 32, 64, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 255))
+	}
+}
+
+func BenchmarkMetricsSeriesAppend(b *testing.B) {
+	s := New().Series("s", 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Append(int64(i), int64(i))
+	}
+}
+
+func BenchmarkMetricsSnapshot(b *testing.B) {
+	r := New()
+	for i := 0; i < 16; i++ {
+		r.Counter(string(rune('a' + i))).Add(int64(i))
+	}
+	r.Histogram("h", 4, 8, 16).Observe(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

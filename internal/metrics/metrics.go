@@ -1,0 +1,269 @@
+// Package metrics is the deterministic telemetry layer of the repository:
+// typed counters, high-watermark gauges, fixed-bucket histograms and
+// round-keyed series that the protocol and simulation stack update on the
+// hot path without allocating and without ever reading the host clock.
+//
+// Determinism contract. Every instrument value is an int64 derived from
+// simulated quantities (rounds, counts) — never wall-clock time, so the
+// determinism lint applies to this package like it does to internal/core.
+// A Registry is deliberately NOT safe for concurrent use: the parallel
+// campaign engine gives every worker its own Registry (see WorkerSet) and
+// merges the per-worker snapshots only after the workers have joined. All
+// merge operations are commutative and associative (counters add, gauges
+// take the maximum, histogram buckets add), so the merged Snapshot is
+// bit-identical at any worker count and under any scheduling.
+//
+// Nop behaviour. The nil values of Registry and of every instrument are
+// fully functional no-ops: a nil *Registry returns nil instruments, and
+// every method on a nil instrument does nothing and returns zero. Code can
+// therefore thread instrument pointers unconditionally; benchmarks and
+// metrics-off runs pay a single nil check and zero allocations.
+//
+// The one deliberate exception to the no-wall-clock rule is the opt-in
+// progress reporter (progress.go), which exists to tell a human how fast a
+// campaign is going; it is lint-exempt via explicit directives and its
+// output is never part of a deterministic snapshot or report.
+package metrics
+
+// Counter is a monotonically increasing int64 instrument. Counters merge by
+// addition, which makes campaign aggregates independent of how runs were
+// partitioned across workers.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by delta. Calling Add on a nil Counter is a
+// no-op.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v += delta
+}
+
+// Inc increments the counter by one. Calling Inc on a nil Counter is a
+// no-op.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil Counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a high-watermark instrument: Observe keeps the maximum of every
+// observed value. Maximum — not last-write — is the gauge semantics here
+// because max is commutative and associative, so merged campaign gauges do
+// not depend on run execution order. Values are expected to be
+// non-negative; the zero value (nothing observed) reports 0.
+type Gauge struct {
+	v int64
+}
+
+// Observe raises the gauge to v if v exceeds the current watermark. Calling
+// Observe on a nil Gauge is a no-op.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	if v > g.v {
+		g.v = v
+	}
+}
+
+// Value returns the high watermark; zero on a nil Gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket int64 histogram. An observation v falls into
+// the first bucket whose upper bound satisfies v <= bound; values above the
+// last bound land in the implicit overflow bucket, so len(counts) ==
+// len(bounds)+1. Bounds are fixed at creation (simulated rounds or counts,
+// chosen by the instrumenting code) and merging requires identical bounds.
+type Histogram struct {
+	bounds []int64
+	counts []int64
+	count  int64
+	sum    int64
+}
+
+// Observe records one value. Calling Observe on a nil Histogram is a no-op.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	if i < len(h.counts) { // zero-value Histogram (no buckets) still tallies count/sum
+		h.counts[i]++
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the total number of observations; zero on a nil Histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observed values; zero on a nil Histogram.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Series is a bounded, preallocated sequence of (round, value) points —
+// e.g. one node's penalty-counter trajectory. Appends past the fixed
+// capacity are counted in Dropped instead of growing the backing arrays, so
+// a Series never allocates after creation and a runaway run cannot blow up
+// memory. Because points carry their own round keys, a merged report stays
+// interpretable even if a series was truncated.
+type Series struct {
+	rounds  []int64
+	values  []int64
+	dropped int64
+}
+
+// Append records one (round, value) point, or counts it as dropped once the
+// capacity is exhausted. Calling Append on a nil Series is a no-op.
+func (s *Series) Append(round, value int64) {
+	if s == nil {
+		return
+	}
+	if len(s.rounds) == cap(s.rounds) {
+		s.dropped++
+		return
+	}
+	s.rounds = append(s.rounds, round)
+	s.values = append(s.values, value)
+}
+
+// Len returns the number of recorded points; zero on a nil Series.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.rounds)
+}
+
+// Dropped returns the number of points discarded because the series was
+// full; zero on a nil Series.
+func (s *Series) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped
+}
+
+// Registry holds the instruments of one execution context. It is create-or-
+// get keyed by name: asking twice for the same name returns the same
+// instrument, so independent subsystems can share counters by convention.
+//
+// A Registry is NOT safe for concurrent use. One registry must only ever be
+// updated from one goroutine at a time; concurrent runtimes (the campaign
+// worker pool, the goroutine-per-node cluster) give each goroutine its own
+// registry and merge snapshots afterwards.
+type Registry struct {
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+
+	// Creation-ordered name lists so snapshots never iterate a map.
+	counterNames   []string
+	gaugeNames     []string
+	histogramNames []string
+	seriesNames    []string
+}
+
+// New returns an empty Registry.
+func New() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		series:     map[string]*Series{},
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. A nil Registry returns a nil (no-op) Counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.counterNames = append(r.counterNames, name)
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use. A
+// nil Registry returns a nil (no-op) Gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.gaugeNames = append(r.gaugeNames, name)
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given strictly increasing upper bounds on first use. Subsequent calls
+// return the existing instrument regardless of the bounds passed — the
+// first creation fixes the bucket layout. A nil Registry returns a nil
+// (no-op) Histogram.
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	h := &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+	r.histograms[name] = h
+	r.histogramNames = append(r.histogramNames, name)
+	return h
+}
+
+// Series returns the series with the given name, creating it with the given
+// fixed point capacity on first use. A nil Registry returns a nil (no-op)
+// Series.
+func (r *Registry) Series(name string, capacity int) *Series {
+	if r == nil {
+		return nil
+	}
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	s := &Series{rounds: make([]int64, 0, capacity), values: make([]int64, 0, capacity)}
+	r.series[name] = s
+	r.seriesNames = append(r.seriesNames, name)
+	return s
+}

@@ -1,0 +1,303 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilInstrumentsAreNops pins the Nop contract: a nil Registry hands out
+// nil instruments and every method on them is a safe no-op.
+func TestNilInstrumentsAreNops(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", 1, 2)
+	s := r.Series("s", 4)
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatalf("nil registry must return nil instruments")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Observe(7)
+	h.Observe(1)
+	s.Append(1, 2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || s.Len() != 0 || s.Dropped() != 0 {
+		t.Fatalf("nil instruments must read as zero")
+	}
+	snap := r.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil || snap.Series != nil {
+		t.Fatalf("nil registry snapshot must be empty, got %+v", snap)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("votes")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d, want 4", c.Value())
+	}
+	if r.Counter("votes") != c {
+		t.Fatalf("Counter must be create-or-get")
+	}
+	g := r.Gauge("penalty_max")
+	g.Observe(5)
+	g.Observe(3) // lower observation must not move the watermark
+	g.Observe(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %d, want 9", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", 4, 8, 16)
+	for _, v := range []int64{0, 4, 5, 8, 17, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	want := []int64{2, 2, 0, 2} // <=4: {0,4}; <=8: {5,8}; <=16: none; overflow: {17,100}
+	if len(snap.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(snap.Counts), len(want))
+	}
+	for i := range want {
+		if snap.Counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], want[i], snap.Counts)
+		}
+	}
+	if snap.Count != 6 || snap.Sum != 134 {
+		t.Fatalf("count/sum = %d/%d, want 6/134", snap.Count, snap.Sum)
+	}
+}
+
+func TestZeroValueHistogramTalliesWithoutBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	if h.Count() != 1 || h.Sum() != 3 {
+		t.Fatalf("zero-value histogram count/sum = %d/%d, want 1/3", h.Count(), h.Sum())
+	}
+}
+
+func TestSeriesCapacityAndDrops(t *testing.T) {
+	r := New()
+	s := r.Series("pen", 2)
+	s.Append(1, 10)
+	s.Append(2, 20)
+	s.Append(3, 30) // over capacity: dropped, not grown
+	if s.Len() != 2 || s.Dropped() != 1 {
+		t.Fatalf("len/dropped = %d/%d, want 2/1", s.Len(), s.Dropped())
+	}
+	snap := r.Snapshot().Series["pen"]
+	if len(snap.Rounds) != 2 || snap.Rounds[1] != 2 || snap.Values[1] != 20 || snap.Dropped != 1 {
+		t.Fatalf("series snapshot = %+v", snap)
+	}
+}
+
+// TestSnapshotIsACopy pins the no-retain contract: snapshots must not alias
+// live instrument state.
+func TestSnapshotIsACopy(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	s := r.Series("s", 4)
+	c.Add(1)
+	s.Append(1, 1)
+	snap := r.Snapshot()
+	c.Add(10)
+	s.Append(2, 2)
+	if snap.Counters["c"] != 1 || len(snap.Series["s"].Rounds) != 1 {
+		t.Fatalf("snapshot mutated by later instrument updates: %+v", snap)
+	}
+}
+
+// TestMergeCommutativeAssociative checks the fold laws the worker-count
+// invariance rests on, on a sample with every instrument kind (series live
+// in exactly one operand, as the uniqueness rule requires).
+func TestMergeCommutativeAssociative(t *testing.T) {
+	mk := func(c, g int64, bucket int64) Snapshot {
+		r := New()
+		r.Counter("c").Add(c)
+		r.Gauge("g").Observe(g)
+		r.Histogram("h", 4, 8).Observe(bucket)
+		return r.Snapshot()
+	}
+	a, b, c := mk(1, 5, 2), mk(10, 3, 6), mk(100, 8, 50)
+	mustMerge := func(x, y Snapshot) Snapshot {
+		t.Helper()
+		out, err := Merge(x, y)
+		if err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		return out
+	}
+	ab := mustMerge(mustMerge(Snapshot{}, a), b)
+	ba := mustMerge(mustMerge(Snapshot{}, b), a)
+	if !sameJSON(t, ab, ba) {
+		t.Fatalf("merge not commutative: %v vs %v", ab, ba)
+	}
+	abc1 := mustMerge(ab, c)
+	abc2 := mustMerge(mustMerge(mustMerge(Snapshot{}, c), b), a)
+	if !sameJSON(t, abc1, abc2) {
+		t.Fatalf("merge not associative/commutative: %v vs %v", abc1, abc2)
+	}
+	if abc1.Counters["c"] != 111 || abc1.Gauges["g"] != 8 {
+		t.Fatalf("merged values wrong: %+v", abc1)
+	}
+	h := abc1.Histograms["h"]
+	if h.Count != 3 || h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Fatalf("merged histogram wrong: %+v", h)
+	}
+}
+
+func TestMergeRejectsMismatchedBounds(t *testing.T) {
+	a, b := New(), New()
+	a.Histogram("h", 1, 2).Observe(1)
+	b.Histogram("h", 1, 3).Observe(1)
+	if _, err := Merge(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Fatalf("want bounds-mismatch error")
+	}
+}
+
+func TestMergeRejectsDuplicateSeries(t *testing.T) {
+	a, b := New(), New()
+	a.Series("s", 2).Append(1, 1)
+	b.Series("s", 2).Append(1, 1)
+	if _, err := Merge(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Fatalf("want duplicate-series error")
+	}
+}
+
+// TestWorkerSetPartitionInvariance simulates the same 12 runs partitioned
+// across 1, 3 and 12 workers; the merged snapshots must be byte-identical.
+func TestWorkerSetPartitionInvariance(t *testing.T) {
+	simulate := func(workers int) Snapshot {
+		ws := NewWorkerSet()
+		regs := make([]*Registry, workers)
+		for w := range regs {
+			regs[w] = ws.Worker()
+		}
+		for run := 0; run < 12; run++ {
+			r := regs[run%workers] // any partition works; modulo is one of them
+			r.Counter("steps").Add(int64(10 + run))
+			r.Gauge("max").Observe(int64(run * 7 % 11))
+			r.Histogram("lat", 4, 8).Observe(int64(run))
+			if run == 0 {
+				s := r.Series("run0/pen", 8)
+				s.Append(1, 3)
+				s.Append(2, 6)
+			}
+		}
+		snap, err := ws.Merged()
+		if err != nil {
+			t.Fatalf("merge (%d workers): %v", workers, err)
+		}
+		return snap
+	}
+	ref := simulate(1)
+	for _, workers := range []int{3, 12} {
+		if got := simulate(workers); !sameJSON(t, ref, got) {
+			t.Fatalf("snapshot differs at %d workers", workers)
+		}
+	}
+	if ref.Counters["steps"] != 12*10+66 {
+		t.Fatalf("steps = %d", ref.Counters["steps"])
+	}
+}
+
+func TestNilWorkerSetIsMetricsOff(t *testing.T) {
+	var ws *WorkerSet
+	if ws.Worker() != nil {
+		t.Fatalf("nil WorkerSet must hand out nil registries")
+	}
+	snap, err := ws.Merged()
+	if err != nil || snap.Counters != nil {
+		t.Fatalf("nil WorkerSet merge = %+v, %v", snap, err)
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	build := func() *Report {
+		rep := NewReport("ttdiag-test", 7, 100)
+		r := New()
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("g").Observe(3)
+		rep.Set("exp-two", r.Snapshot())
+		rep.Set("exp-one", r.Snapshot())
+		return rep
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := build().WriteJSON(&buf1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := build().WriteJSON(&buf2); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatalf("report JSON not byte-deterministic:\n%s\nvs\n%s", buf1.Bytes(), buf2.Bytes())
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf1.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if decoded.Version != ReportVersion || decoded.Tool != "ttdiag-test" || decoded.Seed != 7 {
+		t.Fatalf("decoded header = %+v", decoded)
+	}
+	if decoded.Experiments["exp-one"].Counters["a"] != 1 {
+		t.Fatalf("decoded snapshot = %+v", decoded.Experiments)
+	}
+	var nilRep *Report
+	nilRep.Set("x", Snapshot{}) // must not panic
+	if s := nilRep.Snapshot("x"); s.Counters != nil {
+		t.Fatalf("nil report snapshot = %+v", s)
+	}
+}
+
+func TestProgressReporter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sec8-bursts", 4)
+	p.interval = 0 // print on every run for the test
+	for run := 0; run < 4; run++ {
+		p.RunDone(run)
+	}
+	p.Finish()
+	if p.Done() != 4 {
+		t.Fatalf("done = %d, want 4", p.Done())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sec8-bursts") || !strings.Contains(out, "4/4 runs") || !strings.Contains(out, "done") {
+		t.Fatalf("progress output missing pieces:\n%s", out)
+	}
+	if !strings.Contains(p.String(), `"done":4`) {
+		t.Fatalf("expvar string = %s", p.String())
+	}
+
+	var nilP *Progress
+	nilP.RunDone(0)
+	nilP.Finish()
+	nilP.PublishExpvar("ttdiag-nil")
+	if nilP.Done() != 0 || nilP.String() != "{}" {
+		t.Fatalf("nil progress misbehaves")
+	}
+
+	// Publishing twice under one name must not panic (expvar.Publish would).
+	p.PublishExpvar("ttdiag-test-progress")
+	p.PublishExpvar("ttdiag-test-progress")
+}
+
+// sameJSON compares snapshots by their canonical JSON bytes — the same
+// equality the determinism CI check uses.
+func sameJSON(t *testing.T, a, b Snapshot) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return bytes.Equal(ja, jb)
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Progress is the opt-in wall-clock campaign progress reporter: it counts
+// completed runs, prints a rate-limited "done/total (runs/s, ETA)" line,
+// and can publish itself as an expvar for scraping over HTTP.
+//
+// Progress is the ONE deliberately non-deterministic piece of this package.
+// Its purpose — telling a human how fast a campaign is going — requires the
+// host clock, so its clock reads carry explicit determinism-lint
+// exemptions. Nothing it observes ever enters a Snapshot or Report: wire it
+// only to campaign.Options.OnRunDone (completion order, not run order) and
+// human-facing writers.
+//
+// Progress is safe for concurrent use; campaign workers call RunDone from
+// their own goroutines. A nil *Progress is a no-op.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	total    int64
+	done     int64
+	start    time.Time
+	last     time.Time
+	interval time.Duration
+}
+
+// NewProgress returns a reporter that writes progress lines for a campaign
+// of total runs to w (nil w counts runs but prints nothing). Lines are
+// rate-limited to one per second.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	//lint:ignore no-wallclock opt-in progress reporter; excluded from deterministic outputs
+	now := time.Now()
+	return &Progress{w: w, label: label, total: int64(total), start: now, interval: time.Second}
+}
+
+// RunDone records one completed run and, at most once per interval, prints
+// a progress line with the current rate and ETA. The run index is ignored —
+// completion order is scheduling-dependent, so only the count matters. The
+// signature matches campaign.Options.OnRunDone.
+func (p *Progress) RunDone(int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if p.w == nil {
+		return
+	}
+	//lint:ignore no-wallclock opt-in progress reporter; excluded from deterministic outputs
+	now := time.Now()
+	if now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	fmt.Fprintf(p.w, "%s\n", p.line(now))
+}
+
+// Done returns the number of completed runs; zero on a nil Progress.
+func (p *Progress) Done() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done
+}
+
+// Finish prints a final summary line with the total elapsed time and rate.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil {
+		return
+	}
+	//lint:ignore no-wallclock opt-in progress reporter; excluded from deterministic outputs
+	now := time.Now()
+	fmt.Fprintf(p.w, "%s done\n", p.line(now))
+}
+
+// line renders one progress line; callers hold p.mu.
+func (p *Progress) line(now time.Time) string {
+	elapsed := now.Sub(p.start)
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(p.done) / elapsed.Seconds()
+	}
+	s := fmt.Sprintf("%s: %d", p.label, p.done)
+	if p.total > 0 {
+		s = fmt.Sprintf("%s/%d runs", s, p.total)
+	} else {
+		s += " runs"
+	}
+	s = fmt.Sprintf("%s (%.1f runs/s", s, rate)
+	if p.total > p.done && p.done > 0 {
+		eta := time.Duration(float64(elapsed) * float64(p.total-p.done) / float64(p.done))
+		s = fmt.Sprintf("%s, ETA %s", s, eta.Round(time.Second))
+	}
+	return s + ")"
+}
+
+// String renders the current state as a JSON object, implementing
+// expvar.Var.
+func (p *Progress) String() string {
+	if p == nil {
+		return "{}"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf(`{"label":%q,"done":%d,"total":%d}`, p.label, p.done, p.total)
+}
+
+var _ expvar.Var = (*Progress)(nil)
+
+// PublishExpvar publishes the reporter under the given expvar name so HTTP
+// scrapers can watch /debug/vars. Re-publishing an existing name is a no-op
+// (expvar.Publish would panic), so repeated CLI invocations in one process
+// — e.g. tests — stay safe.
+func (p *Progress) PublishExpvar(name string) {
+	if p == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, p)
+}
+
+// StartDebugServer binds addr and serves the default HTTP mux — which
+// includes expvar's /debug/vars — in a background goroutine. The bind
+// happens synchronously so configuration errors surface immediately; serve
+// errors after a successful bind are dropped (the endpoint is best-effort
+// observability, not part of any result).
+func StartDebugServer(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: debug server: %w", err)
+	}
+	go func() {
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr(), nil
+}

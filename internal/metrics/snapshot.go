@@ -1,0 +1,282 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistogramSnapshot is the exported state of one Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds of the buckets.
+	Bounds []int64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []int64 `json:"counts"`
+	// Count and Sum summarise all observations.
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+}
+
+// SeriesSnapshot is the exported state of one Series.
+type SeriesSnapshot struct {
+	// Rounds and Values are parallel: point i is (Rounds[i], Values[i]).
+	Rounds []int64 `json:"rounds"`
+	Values []int64 `json:"values"`
+	// Dropped counts points discarded because the series was full.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a Registry's instruments, keyed by
+// instrument name. Snapshots marshal deterministically: encoding/json sorts
+// map keys, and every value is an int64, so equal snapshots produce equal
+// bytes.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
+}
+
+// Snapshot copies the registry's current instrument state. A nil Registry
+// yields an empty Snapshot. The copy shares no memory with the registry, so
+// it stays valid while the instruments keep updating.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counterNames) > 0 {
+		s.Counters = make(map[string]int64, len(r.counterNames))
+		for _, name := range r.counterNames {
+			s.Counters[name] = r.counters[name].Value()
+		}
+	}
+	if len(r.gaugeNames) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gaugeNames))
+		for _, name := range r.gaugeNames {
+			s.Gauges[name] = r.gauges[name].Value()
+		}
+	}
+	if len(r.histogramNames) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histogramNames))
+		for _, name := range r.histogramNames {
+			h := r.histograms[name]
+			hs := HistogramSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: append([]int64(nil), h.counts...),
+				Count:  h.count,
+				Sum:    h.sum,
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	if len(r.seriesNames) > 0 {
+		s.Series = make(map[string]SeriesSnapshot, len(r.seriesNames))
+		for _, name := range r.seriesNames {
+			sr := r.series[name]
+			s.Series[name] = SeriesSnapshot{
+				Rounds:  append([]int64(nil), sr.rounds...),
+				Values:  append([]int64(nil), sr.values...),
+				Dropped: sr.dropped,
+			}
+		}
+	}
+	return s
+}
+
+// sortedKeys returns the map's keys in ascending order. Collecting keys is
+// the one sanctioned use of a map range in this package: the iteration
+// order does not escape because the sort immediately canonicalises it.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	//lint:ignore no-map-range-state key collection precedes the sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge folds src into dst and returns the result. The fold is commutative
+// and associative — counters add, gauges take the maximum, histogram
+// buckets add pairwise, series union by name — so folding per-worker
+// snapshots yields the same result for every partition of runs across
+// workers.
+//
+// Two error cases are partition-INdependent and therefore safe to report:
+// histograms with the same name but different bounds (an instrumentation
+// bug), and two series with the same name (series names must be unique
+// across the campaign, e.g. prefixed by experiment class, because point
+// order within a series is execution order and cannot be merged
+// deterministically).
+func Merge(dst, src Snapshot) (Snapshot, error) {
+	for _, name := range sortedKeys(src.Counters) {
+		if dst.Counters == nil {
+			dst.Counters = map[string]int64{}
+		}
+		dst.Counters[name] += src.Counters[name]
+	}
+	for _, name := range sortedKeys(src.Gauges) {
+		if dst.Gauges == nil {
+			dst.Gauges = map[string]int64{}
+		}
+		if v := src.Gauges[name]; v > dst.Gauges[name] {
+			dst.Gauges[name] = v
+		}
+	}
+	for _, name := range sortedKeys(src.Histograms) {
+		if dst.Histograms == nil {
+			dst.Histograms = map[string]HistogramSnapshot{}
+		}
+		sh := src.Histograms[name]
+		dh, ok := dst.Histograms[name]
+		if !ok {
+			dst.Histograms[name] = HistogramSnapshot{
+				Bounds: append([]int64(nil), sh.Bounds...),
+				Counts: append([]int64(nil), sh.Counts...),
+				Count:  sh.Count,
+				Sum:    sh.Sum,
+			}
+			continue
+		}
+		if !equalBounds(dh.Bounds, sh.Bounds) {
+			return Snapshot{}, fmt.Errorf("metrics: histogram %q: mismatched bounds %v vs %v", name, dh.Bounds, sh.Bounds)
+		}
+		for i := range sh.Counts {
+			dh.Counts[i] += sh.Counts[i]
+		}
+		dh.Count += sh.Count
+		dh.Sum += sh.Sum
+		dst.Histograms[name] = dh
+	}
+	for _, name := range sortedKeys(src.Series) {
+		if dst.Series == nil {
+			dst.Series = map[string]SeriesSnapshot{}
+		}
+		if _, ok := dst.Series[name]; ok {
+			return Snapshot{}, fmt.Errorf("metrics: series %q recorded by more than one registry", name)
+		}
+		ss := src.Series[name]
+		dst.Series[name] = SeriesSnapshot{
+			Rounds:  append([]int64(nil), ss.Rounds...),
+			Values:  append([]int64(nil), ss.Values...),
+			Dropped: ss.Dropped,
+		}
+	}
+	return dst, nil
+}
+
+func equalBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkerSet owns the per-worker registries of one campaign. Worker must be
+// called serially (the campaign engine constructs worker state before any
+// run starts, which satisfies this); the registries it returns are then
+// free to update concurrently with each other, one goroutine each.
+//
+// A nil WorkerSet is the metrics-off mode: Worker returns a nil Registry,
+// whose instruments are all no-ops.
+type WorkerSet struct {
+	registries []*Registry
+}
+
+// NewWorkerSet returns an empty WorkerSet.
+func NewWorkerSet() *WorkerSet { return &WorkerSet{} }
+
+// Worker appends and returns a fresh per-worker Registry; nil when the set
+// itself is nil.
+func (ws *WorkerSet) Worker() *Registry {
+	if ws == nil {
+		return nil
+	}
+	r := New()
+	ws.registries = append(ws.registries, r)
+	return r
+}
+
+// Merged folds every worker registry's snapshot into one aggregate. The
+// result is bit-identical at any worker count because each run updates
+// exactly one registry and the fold is commutative and associative.
+func (ws *WorkerSet) Merged() (Snapshot, error) {
+	var out Snapshot
+	if ws == nil {
+		return out, nil
+	}
+	for _, r := range ws.registries {
+		var err error
+		out, err = Merge(out, r.Snapshot())
+		if err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return out, nil
+}
+
+// ReportVersion is the schema version written into every Report.
+const ReportVersion = 1
+
+// Report is the machine-readable run report a -metrics flag emits: one
+// merged Snapshot per experiment, plus enough header fields to reproduce
+// the run. Everything in a Report is deterministic — the progress
+// reporter's wall-clock observations never enter it.
+type Report struct {
+	// Version is the report schema version (ReportVersion).
+	Version int `json:"version"`
+	// Tool names the producing command (e.g. "ttdiag-experiments").
+	Tool string `json:"tool"`
+	// Seed and Runs reproduce the campaign.
+	Seed int64 `json:"seed"`
+	Runs int   `json:"runs"`
+	// Experiments maps experiment ID to its merged snapshot.
+	Experiments map[string]Snapshot `json:"experiments"`
+}
+
+// NewReport returns an empty report with the current schema version.
+func NewReport(tool string, seed int64, runs int) *Report {
+	return &Report{
+		Version:     ReportVersion,
+		Tool:        tool,
+		Seed:        seed,
+		Runs:        runs,
+		Experiments: map[string]Snapshot{},
+	}
+}
+
+// Set files the snapshot under the experiment ID. Calling Set on a nil
+// Report is a no-op, so instrumented code can run metrics-off unchanged.
+func (r *Report) Set(id string, s Snapshot) {
+	if r == nil {
+		return
+	}
+	if r.Experiments == nil {
+		r.Experiments = map[string]Snapshot{}
+	}
+	r.Experiments[id] = s
+}
+
+// Snapshot returns the snapshot filed under the experiment ID (zero value
+// if absent or on a nil Report).
+func (r *Report) Snapshot(id string) Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return r.Experiments[id]
+}
+
+// WriteJSON writes the report as indented JSON. The output is byte-
+// deterministic: encoding/json sorts map keys and every leaf is an int64.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/fault"
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/tdma"
+)
+
+// TestRunMetricsTruthCounts checks the ground-truth outcome counters: a
+// two-slot benign burst must show up as exactly two benign (collision)
+// transmissions, with everything else correct.
+func TestRunMetricsTruthCounts(t *testing.T) {
+	eng, _, err := NewDiagnosticCluster(ClusterConfig{Ls: Staircase(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Bus().AddDisturbance(fault.NewTrain(fault.SlotBurst(eng.Schedule(), 5, 2, 2)))
+	const rounds = 12
+	if err := eng.RunRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	m := NewRunMetrics(reg)
+	m.ObserveTruth(eng)
+	snap := reg.Snapshot()
+	if got := snap.Counters["tx/benign"]; got != 2 {
+		t.Fatalf("tx/benign = %d, want 2", got)
+	}
+	if got := snap.Counters["tx/correct"]; got != 4*rounds-2 {
+		t.Fatalf("tx/correct = %d, want %d", got, 4*rounds-2)
+	}
+	if snap.Counters["tx/malicious"] != 0 || snap.Counters["tx/asymmetric"] != 0 {
+		t.Fatalf("unexpected non-benign outcomes: %v", snap.Counters)
+	}
+}
+
+// TestRunMetricsIsolationLatency drives node 3 into isolation with a
+// persistent fault and checks that the latency histogram records one
+// observation measured from the first ground-truth fault round.
+func TestRunMetricsIsolationLatency(t *testing.T) {
+	eng, runners, err := NewDiagnosticCluster(ClusterConfig{
+		Ls: Staircase(4),
+		PR: core.PRConfig{PenaltyThreshold: 2, RewardThreshold: 1 << 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	for id := 1; id <= 4; id++ {
+		col.HookDiag(id, runners[id])
+	}
+	const faultRound = 6
+	var bursts []fault.Burst
+	for r := faultRound; r < faultRound+8; r++ {
+		bursts = append(bursts, fault.SlotBurst(eng.Schedule(), r, 3, 1))
+	}
+	eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
+	if err := eng.RunRounds(faultRound + 14); err != nil {
+		t.Fatal(err)
+	}
+	if col.FirstIsolation(3) < 0 {
+		t.Fatalf("node 3 was never isolated")
+	}
+	reg := metrics.New()
+	m := NewRunMetrics(reg)
+	m.ObserveIsolationLatency(eng, col)
+	snap := reg.Snapshot().Histograms["pr/isolation_latency_rounds"]
+	if snap.Count != 1 {
+		t.Fatalf("latency observations = %d, want 1", snap.Count)
+	}
+	wantLatency := int64(col.FirstIsolation(3) - faultRound)
+	if snap.Sum != wantLatency {
+		t.Fatalf("latency = %d rounds, want %d", snap.Sum, wantLatency)
+	}
+	if wantLatency < 0 || wantLatency > 32 {
+		t.Fatalf("implausible isolation latency %d", wantLatency)
+	}
+}
+
+// TestRunMetricsViewChanges checks the membership view-change counter on
+// the clique scenario: every node installs at least one new view.
+func TestRunMetricsViewChanges(t *testing.T) {
+	eng, runners, err := NewMembershipCluster(ClusterConfig{Ls: Staircase(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Bus().AddDisturbance(fault.ReceiverBlind{
+		Receiver: 1, Senders: []tdma.NodeID{3},
+		FromRound: 6, ToRound: 7,
+	})
+	if err := eng.RunRounds(20); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	m := NewRunMetrics(reg)
+	m.ObserveViews(runners)
+	if got := reg.Snapshot().Counters["membership/view_changes"]; got < 3 {
+		t.Fatalf("view changes = %d, want >= 3", got)
+	}
+}
+
+// TestRunMetricsNilIsNop: every observer must be callable on a nil
+// *RunMetrics.
+func TestRunMetricsNilIsNop(t *testing.T) {
+	eng, _, err := NewDiagnosticCluster(ClusterConfig{Ls: Staircase(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	var m *RunMetrics
+	m.ObserveTruth(eng)
+	m.ObserveIsolationLatency(eng, NewCollector())
+	m.ObserveViews(nil)
+}
+
+// TestClusterMetricsReuseEquivalence runs the same faulty scenario twice on
+// one reusable cluster with a fresh registry each time; the two snapshots
+// must be byte-identical — the reuse path must not leak telemetry state
+// between repetitions.
+func TestClusterMetricsReuseEquivalence(t *testing.T) {
+	cl, err := NewReusableDiagnosticCluster(ClusterConfig{Ls: Staircase(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() []byte {
+		cl.Reset()
+		reg := metrics.New()
+		sm := core.NewStepMetrics(reg)
+		for id := 1; id <= 4; id++ {
+			cl.Runners[id].Protocol().SetMetrics(sm)
+		}
+		sys := NewRunMetrics(reg)
+		cl.Eng.Bus().AddDisturbance(fault.NewTrain(fault.SlotBurst(cl.Eng.Schedule(), 5, 1, 2)))
+		if err := cl.Eng.RunRounds(16); err != nil {
+			t.Fatal(err)
+		}
+		sys.ObserveTruth(cl.Eng)
+		b, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	first := runOnce()
+	second := runOnce()
+	if string(first) != string(second) {
+		t.Fatalf("reused-cluster metrics differ:\n%s\nvs\n%s", first, second)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(first, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["protocol/steps"] != 4*16 {
+		t.Fatalf("steps = %d, want %d", snap.Counters["protocol/steps"], 4*16)
+	}
+	if snap.Counters["vote/faulty"] == 0 || snap.Counters["tx/benign"] != 2 {
+		t.Fatalf("scenario under-exercised: %v", snap.Counters)
+	}
+}

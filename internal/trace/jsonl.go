@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// kindFromName maps the lowercase kind names back to their Kind values. It
+// is built with an explicit loop over the closed Kind range rather than by
+// ranging over kindNames, so the construction order is fixed (this package
+// is lint-checked as order-sensitive).
+var kindFromName = func() map[string]Kind {
+	m := make(map[string]Kind, int(KindNote))
+	for k := KindTransmit; k <= KindNote; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// ParseKind inverts Kind.String. Unknown kinds rendered as "kind(N)" parse
+// back to Kind(N), so the JSONL encoding is total over all Kind values.
+func ParseKind(s string) (Kind, error) {
+	if k, ok := kindFromName[s]; ok {
+		return k, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "kind(%d)", &n); err == nil {
+		return Kind(n), nil
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// eventJSON is the wire form of an Event: the simulated timestamp is encoded
+// as integer nanoseconds (not a duration string) so any JSONL consumer can
+// sort and diff numerically, and the kind travels by name so the stream
+// stays readable and stable if the Kind enum is reordered.
+type eventJSON struct {
+	AtNS    int64  `json:"at_ns"`
+	Round   int    `json:"round"`
+	Kind    string `json:"kind"`
+	Node    int    `json:"node,omitempty"`
+	Subject int    `json:"subject,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// WriteJSONL encodes one event as a single JSON line on w.
+func WriteJSONL(w io.Writer, e Event) error {
+	b, err := json.Marshal(eventJSON{
+		AtNS:    int64(e.At),
+		Round:   e.Round,
+		Kind:    e.Kind.String(),
+		Node:    e.Node,
+		Subject: e.Subject,
+		Detail:  e.Detail,
+	})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSONL decodes a stream of JSONL-encoded events, one per line. Blank
+// lines are skipped; the first malformed line aborts with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ej eventJSON
+		if err := json.Unmarshal(raw, &ej); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		k, err := ParseKind(ej.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, Event{
+			At:      time.Duration(ej.AtNS),
+			Round:   ej.Round,
+			Kind:    k,
+			Node:    ej.Node,
+			Subject: ej.Subject,
+			Detail:  ej.Detail,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JSONLWriter is a Sink that streams every event to an io.Writer as JSON
+// lines. It is safe for concurrent use, so the goroutine-per-node runtime
+// can share one. The first write error is retained and reported by Err;
+// subsequent events are dropped silently rather than interleaving partial
+// lines into a broken stream.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+var _ Sink = (*JSONLWriter)(nil)
+
+// NewJSONLWriter returns a JSONL sink writing to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w}
+}
+
+// Record implements Sink by appending one JSON line.
+func (j *JSONLWriter) Record(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = WriteJSONL(j.w, e)
+}
+
+// Err reports the first write or encoding error, if any.
+func (j *JSONLWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

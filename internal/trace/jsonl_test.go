@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecorderDroppedCountsEvictions: the bounded recorder must account for
+// every event the Limit eviction discarded, keep the newest events, and
+// clear the counter on Reset.
+func TestRecorderDroppedCountsEvictions(t *testing.T) {
+	r := Recorder{Limit: 4}
+	for i := 0; i < 11; i++ {
+		r.Record(Event{Round: i, Kind: KindNote})
+	}
+	if got := r.Dropped(); got != 7 {
+		t.Fatalf("Dropped = %d, want 7", got)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := 7 + i; e.Round != want {
+			t.Fatalf("retained[%d].Round = %d, want %d (oldest must go first)", i, e.Round, want)
+		}
+	}
+	r.Reset()
+	if r.Dropped() != 0 || r.Len() != 0 {
+		t.Fatalf("Reset left dropped=%d len=%d", r.Dropped(), r.Len())
+	}
+	r.Record(Event{Kind: KindNote})
+	if r.Dropped() != 0 {
+		t.Fatalf("recording under the limit must not drop, got %d", r.Dropped())
+	}
+}
+
+// TestTeeFansOutToEverySink: every sink in a Tee sees every event, in record
+// order, including a streaming JSONL sink alongside in-memory recorders.
+func TestTeeFansOutToEverySink(t *testing.T) {
+	var a, b Recorder
+	var buf bytes.Buffer
+	tee := Tee{&a, &b, NewJSONLWriter(&buf)}
+	events := []Event{
+		{At: 10 * time.Microsecond, Round: 0, Kind: KindTransmit, Node: 1},
+		{At: 20 * time.Microsecond, Round: 0, Kind: KindDiagnosis, Node: 2, Subject: 1},
+		{At: 30 * time.Microsecond, Round: 1, Kind: KindIsolation, Node: 2, Subject: 1, Detail: "penalty crossed"},
+	}
+	for _, e := range events {
+		tee.Record(e)
+	}
+	for name, rec := range map[string]*Recorder{"a": &a, "b": &b} {
+		got := rec.Events()
+		if len(got) != len(events) {
+			t.Fatalf("sink %s saw %d events, want %d", name, len(got), len(events))
+		}
+		for i := range events {
+			if got[i] != events[i] {
+				t.Fatalf("sink %s event %d = %+v, want %+v", name, i, got[i], events[i])
+			}
+		}
+	}
+	decoded, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("JSONL sink saw %d events, want %d", len(decoded), len(events))
+	}
+	for i := range events {
+		if decoded[i] != events[i] {
+			t.Fatalf("JSONL event %d = %+v, want %+v", i, decoded[i], events[i])
+		}
+	}
+}
+
+// TestJSONLRoundTripEveryKind encodes one event of every Kind (plus an
+// out-of-range kind) and decodes them back unchanged.
+func TestJSONLRoundTripEveryKind(t *testing.T) {
+	var events []Event
+	for k := KindTransmit; k <= KindNote; k++ {
+		events = append(events, Event{
+			At:      time.Duration(k) * time.Millisecond,
+			Round:   int(k),
+			Kind:    k,
+			Node:    1 + int(k)%3,
+			Subject: int(k) % 4,
+			Detail:  "detail for " + k.String(),
+		})
+	}
+	events = append(events, Event{Kind: Kind(42), Round: 99})
+
+	var buf bytes.Buffer
+	for _, e := range events {
+		if err := WriteJSONL(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decoded, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(decoded), len(events))
+	}
+	for i := range events {
+		if decoded[i] != events[i] {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, decoded[i], events[i])
+		}
+	}
+}
+
+// TestReadJSONLRejectsGarbage: the first malformed line aborts decoding with
+// its line number.
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, Event{Kind: KindNote}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("not json\n")
+	if _, err := ReadJSONL(&buf); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want a line-2 decode error, got %v", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"nonsense"}` + "\n")); err == nil {
+		t.Fatalf("want an unknown-kind error")
+	}
+}
+
+// TestJSONLWriterRetainsFirstError: a failing writer surfaces via Err and
+// suppresses further writes.
+func TestJSONLWriterRetainsFirstError(t *testing.T) {
+	w := NewJSONLWriter(failWriter{})
+	w.Record(Event{Kind: KindNote})
+	if w.Err() == nil {
+		t.Fatalf("want retained write error")
+	}
+	w.Record(Event{Kind: KindNote}) // must not panic or clear the error
+	if w.Err() == nil {
+		t.Fatalf("error was cleared by a later Record")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, errShortPipe
+}
+
+var errShortPipe = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "pipe closed" }

@@ -90,8 +90,9 @@ type Sink interface {
 // The zero value is unbounded and ready to use. Recorder is safe for
 // concurrent use so that the goroutine-per-node runtime can share one.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	dropped int64
 	// Limit bounds the number of retained events; once exceeded, the oldest
 	// events are discarded. Zero means unbounded.
 	Limit int
@@ -100,14 +101,25 @@ type Recorder struct {
 var _ Sink = (*Recorder)(nil)
 
 // Record appends the event, evicting the oldest if the limit is exceeded.
+// Evicted events are counted — see Dropped — so a bounded recorder is
+// observable about its own truncation.
 func (r *Recorder) Record(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = append(r.events, e)
 	if r.Limit > 0 && len(r.events) > r.Limit {
 		excess := len(r.events) - r.Limit
+		r.dropped += int64(excess)
 		r.events = append(r.events[:0], r.events[excess:]...)
 	}
+}
+
+// Dropped reports how many events the Limit eviction has discarded since
+// the last Reset.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns a copy of the retained events in record order.
@@ -139,11 +151,12 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Reset discards all retained events.
+// Reset discards all retained events and clears the drop counter.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = r.events[:0]
+	r.dropped = 0
 }
 
 // Discard is a Sink that drops every event. Use it when tracing overhead is

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh runs the campaign engine and protocol hot-path benchmarks and
 # records every sample in BENCH_campaign.json, plus the packed voting-kernel
-# microbenchmarks in BENCH_core.json, so the bench trajectory of the
-# repository can be tracked across commits. Usage:
+# microbenchmarks in BENCH_core.json and the telemetry-layer benchmarks
+# (instrument costs and Step with metrics on/off) in BENCH_metrics.json, so
+# the bench trajectory of the repository can be tracked across commits. Usage:
 #
 #   scripts/bench.sh                 # 5 samples per benchmark (default)
 #   COUNT=1 scripts/bench.sh         # quick single-sample run
@@ -47,3 +48,10 @@ go test -run '^$' \
     -benchmem -count="$COUNT" ./internal/core/ | tee "$raw"
 fold_json < "$raw" > BENCH_core.json
 echo "wrote BENCH_core.json"
+
+# Both packages feed one stream so fold_json emits a single JSON list.
+go test -run '^$' \
+    -bench 'BenchmarkStepMetrics|BenchmarkMetrics' \
+    -benchmem -count="$COUNT" ./internal/core/ ./internal/metrics/ | tee "$raw"
+fold_json < "$raw" > BENCH_metrics.json
+echo "wrote BENCH_metrics.json"

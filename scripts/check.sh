@@ -30,6 +30,10 @@ go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/...
 echo "== go test -race -cpu=1,4 (campaign determinism) =="
 go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
 
+echo "== go test -race -cpu=1,4 (metrics determinism) =="
+go test -race -cpu=1,4 ./internal/experiments/ -run TestMetricsWorkerCountInvariance
+go test -race -cpu=1,4 ./internal/cluster/ -run TestClusterMetricsMatchLockStep
+
 echo "== go test -race -cpu=1,4 (cluster reuse equivalence) =="
 go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
 

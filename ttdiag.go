@@ -46,6 +46,7 @@ import (
 	"ttdiag/internal/fault"
 	"ttdiag/internal/lowlat"
 	"ttdiag/internal/membership"
+	"ttdiag/internal/metrics"
 	"ttdiag/internal/platform"
 	"ttdiag/internal/recovery"
 	"ttdiag/internal/replay"
@@ -378,4 +379,44 @@ func ReadTranscript(r io.Reader, n int) (*Transcript, error) { return replay.Rea
 // counterfactual analysis.
 func ReplayTranscript(log *Transcript, cfg SimulationConfig, observer int) ([]RoundDiagnosis, error) {
 	return replay.Replay(log, cfg, observer)
+}
+
+// Deterministic telemetry (see docs/OBSERVABILITY.md).
+type (
+	// MetricsRegistry owns a single goroutine's counters, gauges, histograms
+	// and series; nil is the zero-cost metrics-off mode.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time, deterministically marshaling copy
+	// of a registry's instruments.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsReport is the versioned machine-readable run report the CLIs'
+	// -metrics flag emits.
+	MetricsReport = metrics.Report
+	// MetricsWorkerSet merges per-worker registries into worker-count-
+	// invariant aggregates.
+	MetricsWorkerSet = metrics.WorkerSet
+	// StepMetrics is the per-node protocol instrument bundle a Protocol
+	// emits into on every Step.
+	StepMetrics = core.StepMetrics
+	// RunMetrics is the per-run system instrument bundle (ground-truth
+	// outcomes, isolation latency, view changes).
+	RunMetrics = sim.RunMetrics
+	// CampaignProgress is the opt-in wall-clock progress reporter; its
+	// observations never enter deterministic outputs.
+	CampaignProgress = metrics.Progress
+)
+
+// NewMetricsRegistry returns an empty single-goroutine metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// NewStepMetrics wires the standard protocol instruments to the registry;
+// attach the result with (*Protocol).SetMetrics.
+func NewStepMetrics(reg *MetricsRegistry) *StepMetrics { return core.NewStepMetrics(reg) }
+
+// NewRunMetrics wires the standard system instruments to the registry.
+func NewRunMetrics(reg *MetricsRegistry) *RunMetrics { return sim.NewRunMetrics(reg) }
+
+// NewMetricsReport returns an empty versioned run report.
+func NewMetricsReport(tool string, seed int64, runs int) *MetricsReport {
+	return metrics.NewReport(tool, seed, runs)
 }
