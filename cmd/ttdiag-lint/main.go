@@ -1,38 +1,68 @@
-// Command ttdiag-lint runs the repository's determinism analyzer
-// (internal/lint) over the module source and prints every finding in a
-// stable, file:line:col-sorted format, so CI output is deterministic and
-// greppable.
+// Command ttdiag-lint runs the repository's static-analysis suite: the
+// determinism and ownership rules of internal/lint over the module source,
+// and optionally the escape-analysis allocation gate of internal/lint/escape
+// over the hot-path packages. Findings print in a stable, file:line:col
+// sorted format, so CI output is deterministic and greppable.
 //
 // Usage:
 //
-//	ttdiag-lint [-root dir] [patterns ...]
+//	ttdiag-lint [-root dir] [-rules r1,r2] [-json] [-escapes] [-update-escapes] [patterns ...]
 //
 // Patterns default to ./... and are resolved relative to the module root
 // (the nearest parent directory of the working directory that contains a
-// go.mod, unless -root overrides it). Exit status: 0 when the tree is
-// clean, 1 when findings were reported, 2 on usage or analysis errors.
+// go.mod, unless -root overrides it). -rules restricts the run to a
+// comma-separated subset of the registered rules. -escapes additionally
+// diffs the compiler's escape analysis against internal/lint/escape.golden,
+// reporting grown sites as escape-gate findings; -update-escapes rewrites
+// that allowlist from the current build instead of checking it.
+//
+// With -json the findings are emitted as one JSON array on stdout, each
+// element {"file", "line", "col", "rule", "message"} — escape-gate findings
+// carry line and col 0 because the allowlist is position-independent.
+//
+// Exit status: 0 when the tree is clean, 1 when findings were reported, 2 on
+// usage or analysis errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ttdiag/internal/lint"
+	"ttdiag/internal/lint/escape"
 )
+
+// goldenRel locates the escape allowlist relative to the module root.
+const goldenRel = "internal/lint/escape.golden"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is the -json element schema, shared by rule and gate findings.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ttdiag-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "root directory to analyze (default: nearest parent with go.mod)")
+	ruleList := fs.String("rules", "", "comma-separated rule subset (default: all; known: "+strings.Join(lint.RuleNames(), ", ")+")")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	escapes := fs.Bool("escapes", false, "also diff escape analysis against "+goldenRel)
+	updateEscapes := fs.Bool("update-escapes", false, "rewrite "+goldenRel+" from the current build and exit")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: ttdiag-lint [-root dir] [patterns ...]")
+		fmt.Fprintln(stderr, "usage: ttdiag-lint [-root dir] [-rules r1,r2] [-json] [-escapes] [-update-escapes] [patterns ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -46,19 +76,113 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		*root = r
 	}
-	diags, err := lint.Run(*root, fs.Args())
+
+	if *updateEscapes {
+		rep, err := escape.Analyze(*root, nil)
+		if err != nil {
+			fmt.Fprintln(stderr, "ttdiag-lint:", err)
+			return 2
+		}
+		path := filepath.Join(*root, filepath.FromSlash(goldenRel))
+		if err := rep.WriteFile(path); err != nil {
+			fmt.Fprintln(stderr, "ttdiag-lint:", err)
+			return 2
+		}
+		total := 0
+		for _, n := range rep.Counts {
+			total += n
+		}
+		fmt.Fprintf(stderr, "ttdiag-lint: wrote %s: %d sites (%d distinct) under %s\n",
+			goldenRel, total, len(rep.Counts), rep.Toolchain)
+		return 0
+	}
+
+	var ruleNames []string
+	if *ruleList != "" {
+		for _, name := range strings.Split(*ruleList, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				ruleNames = append(ruleNames, name)
+			}
+		}
+	}
+	diags, err := lint.RunRules(*root, fs.Args(), ruleNames)
 	if err != nil {
 		fmt.Fprintln(stderr, "ttdiag-lint:", err)
 		return 2
 	}
+	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+		findings = append(findings, jsonFinding{
+			File:    d.Position.Filename,
+			Line:    d.Position.Line,
+			Col:     d.Position.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "ttdiag-lint: %d finding(s)\n", len(diags))
+
+	if *escapes {
+		gate, err := checkEscapes(*root, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "ttdiag-lint:", err)
+			return 2
+		}
+		findings = append(findings, gate...)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "ttdiag-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "ttdiag-lint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// checkEscapes diffs the current escape analysis against the committed
+// allowlist. Grown sites return as findings; shrunk sites and a toolchain
+// mismatch only warn — the latter because -m output is not comparable across
+// compiler releases (CI pins the toolchain, so there the mismatch never
+// happens).
+func checkEscapes(root string, stderr io.Writer) ([]jsonFinding, error) {
+	golden, err := escape.Load(filepath.Join(root, filepath.FromSlash(goldenRel)))
+	if err != nil {
+		return nil, fmt.Errorf("%s unreadable (generate it with -update-escapes): %w", goldenRel, err)
+	}
+	current, err := escape.Analyze(root, nil)
+	if err != nil {
+		return nil, err
+	}
+	grown, shrunk, err := escape.Diff(golden, current)
+	if err != nil {
+		fmt.Fprintf(stderr, "ttdiag-lint: warning: escape gate skipped: %v\n", err)
+		return nil, nil
+	}
+	var findings []jsonFinding
+	for _, d := range grown {
+		file, msg, _ := strings.Cut(d.Key, ": ")
+		findings = append(findings, jsonFinding{
+			File: file,
+			Rule: "escape-gate",
+			Message: fmt.Sprintf("%s (%d site(s), allowlist has %d); keep the value on the stack or regenerate %s with -update-escapes and justify the allocation in review",
+				msg, d.Current, d.Golden, goldenRel),
+		})
+	}
+	for _, d := range shrunk {
+		fmt.Fprintf(stderr, "ttdiag-lint: note: escape site shrunk: %s (%d -> %d); regenerate %s with -update-escapes to tighten the gate\n",
+			d.Key, d.Golden, d.Current, goldenRel)
+	}
+	return findings, nil
 }
 
 // findModuleRoot walks upward from dir to the nearest go.mod.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,5 +81,74 @@ func TestExitTwoOnError(t *testing.T) {
 	}
 	if code := run([]string{"-badflag"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// TestRulesSubset restricts the run to one rule and rejects unknown names.
+func TestRulesSubset(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-root", fixtureRoot(t), "-rules", "no-wallclock", "./internal/core"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		if !strings.Contains(line, ": no-wallclock: ") {
+			t.Errorf("non-subset finding leaked through: %q", line)
+		}
+	}
+	if code := run([]string{"-root", fixtureRoot(t), "-rules", "no-such-rule"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown rule: exit %d, want 2", code)
+	}
+}
+
+// TestJSONOutput checks the -json schema: an array of objects with file,
+// line, col, rule and message, still exit 1 on findings.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-root", fixtureRoot(t), "-json", "./internal/core"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Rule == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+// TestJSONCleanTree pins the clean-tree shape: an empty JSON array, exit 0.
+func TestJSONCleanTree(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-root", fixtureRoot(t), "-json", "./internal/tdma"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean tree emitted %q, want []", got)
+	}
+}
+
+// TestEscapesRequiresGolden: -escapes against a root without an allowlist is
+// a hard error pointing at -update-escapes, not a silent pass.
+func TestEscapesRequiresGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-root", fixtureRoot(t), "-escapes", "./internal/tdma"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "-update-escapes") {
+		t.Errorf("error does not mention the regeneration flag: %s", errOut.String())
 	}
 }

@@ -150,6 +150,8 @@ func DecodeSyndrome(data []byte, n int) (Syndrome, error) {
 // already be sized for the system (dst.N() nodes). It is the allocation-free
 // form of DecodeSyndrome for hot paths that own a reusable destination; dst
 // is fully overwritten on success and left unspecified on error.
+//
+//ttdiag:noretain params
 func DecodeSyndromeInto(dst Syndrome, data []byte) error {
 	n := dst.N()
 	if len(data) != EncodedLen(n) {

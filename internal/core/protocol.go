@@ -528,6 +528,11 @@ func (p *Protocol) PenaltyReward() *PenaltyReward { return p.pr }
 // already hold packed observations use StepPacked and skip the conversion);
 // entries of DMs/Validity outside {Faulty, Healthy, Erased} are normalised
 // to ε there, which Eqn. 1's tally treats identically.
+//
+// The input's slices stay caller-owned: Step copies what it needs, so a
+// caller may reuse its DMs/Validity buffers immediately after the call.
+//
+//ttdiag:noretain params
 func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 	n := p.cfg.N
 	if want := p.cfg.StartRound + p.steps; in.Round != want {
@@ -565,7 +570,10 @@ func (p *Protocol) Step(in RoundInput) (RoundOutput, error) {
 
 // StepPacked executes the diagnostic job for one round on packed
 // observations, the zero-conversion entry of the hot path. It fails on
-// instances running the scalar representation (N > MaxPackedN).
+// instances running the scalar representation (N > MaxPackedN). Rows stays
+// caller-owned (entries are copied by value) and may be reused immediately.
+//
+//ttdiag:noretain params
 func (p *Protocol) StepPacked(in PackedRoundInput) (RoundOutput, error) {
 	if !p.packed {
 		return RoundOutput{}, fmt.Errorf("core: node %d: StepPacked needs the packed representation (N = %d > %d); use Step", p.cfg.ID, p.cfg.N, MaxPackedN)
@@ -583,6 +591,8 @@ func (p *Protocol) StepPacked(in PackedRoundInput) (RoundOutput, error) {
 // on word masks, and the only allocation is the round's retained output
 // block. It is step-for-step equivalent to stepScalar (pinned by the
 // differential tests in packed_equivalence_test.go).
+//
+//ttdiag:noretain params
 func (p *Protocol) stepPacked(in PackedRoundInput) (RoundOutput, error) {
 	n := p.cfg.N
 	all := PlaneMask(n)
@@ -771,6 +781,8 @@ func (p *Protocol) stepPacked(in PackedRoundInput) (RoundOutput, error) {
 // stepScalar is the byte-per-entry diagnostic job: the reference
 // implementation for systems beyond the packed bound and for the
 // differential tests (inputs are pre-validated by Step).
+//
+//ttdiag:noretain params
 func (p *Protocol) stepScalar(in RoundInput) (RoundOutput, error) {
 	n := p.cfg.N
 

@@ -139,6 +139,8 @@ func (m *Matrix) Packed() bool { return m.op != nil }
 // buffer afterwards. On a packed matrix, entries outside {Faulty, Healthy,
 // Erased} are normalised to ε (voting-equivalent: Eqn. 1 excludes them from
 // the tally either way).
+//
+//ttdiag:noretain params
 func (m *Matrix) SetRow(j int, s Syndrome) error {
 	if j < 1 || j > m.n {
 		return fmt.Errorf("core: matrix row %d out of range 1..%d", j, m.n)

@@ -9,16 +9,22 @@
 // analyzer flags those sources at the source level, where the race detector
 // and example-based tests cannot see them.
 //
-// Four rules are implemented (see rules.go): no-wallclock, no-global-rand,
-// no-map-range-state and channel-discipline. Every finding is individually
-// suppressible with a directive comment on the offending line or the line
-// directly above it:
+// Six rules are implemented (see rules.go): no-wallclock, no-global-rand,
+// no-map-range-state, channel-discipline, no-retain and stale-ignore. Every
+// finding is individually suppressible with a directive comment on the
+// offending line or the line directly above it:
 //
 //	//lint:ignore <rule> <reason>
 //
-// The reason is mandatory; a directive without one is ignored. The analyzer
-// uses only go/ast, go/build, go/parser, go/token, go/types and go/importer,
-// matching the module's zero-dependency go.mod.
+// The reason is mandatory; a directive without one is ignored. Directives
+// that stop suppressing anything are themselves findings (stale-ignore), so
+// the suppression inventory cannot silently rot. The no-retain rule is
+// driven by a second directive, //ttdiag:noretain, on a function's doc
+// comment: it marks the function's reference-typed results as borrowed
+// scratch views and its reference-typed parameters as borrowed inputs (see
+// noretain.go). The analyzer uses only go/ast, go/build, go/parser,
+// go/token, go/types and go/importer, matching the module's zero-dependency
+// go.mod.
 package lint
 
 import (
@@ -58,17 +64,53 @@ func (d Diagnostic) String() string {
 // contains a go.mod, its module path prefixes the import path of every
 // analyzed package; otherwise import paths are the root-relative directory
 // paths (the fixture-tree convention). The returned diagnostics are sorted
-// by file, line, column and rule.
+// by file, line, column and rule. All rules run; RunRules selects a subset.
 func Run(root string, patterns []string) ([]Diagnostic, error) {
+	return RunRules(root, patterns, nil)
+}
+
+// RuleNames returns the registered rule names in registry order.
+func RuleNames() []string {
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.name
+	}
+	return names
+}
+
+// RunRules is Run restricted to the named rules (nil or empty = all rules).
+// An unknown rule name is an error. Note that stale-ignore only audits
+// directives naming rules that actually ran: selecting a subset never makes
+// a directive for an unselected rule look dead.
+func RunRules(root string, patterns, ruleNames []string) ([]Diagnostic, error) {
+	enabled := make(map[string]bool, len(rules))
+	if len(ruleNames) == 0 {
+		for _, r := range rules {
+			enabled[r.name] = true
+		}
+	} else {
+		known := make(map[string]bool, len(rules))
+		for _, r := range rules {
+			known[r.name] = true
+		}
+		for _, name := range ruleNames {
+			if !known[name] {
+				return nil, fmt.Errorf("lint: unknown rule %q (known: %s)", name, strings.Join(RuleNames(), ", "))
+			}
+			enabled[name] = true
+		}
+	}
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
 	}
 	a := &analyzer{
-		root:    root,
-		module:  modulePath(root),
-		fset:    token.NewFileSet(),
-		checked: make(map[string]*checkedPkg),
+		root:     root,
+		module:   modulePath(root),
+		fset:     token.NewFileSet(),
+		checked:  make(map[string]*checkedPkg),
+		enabled:  enabled,
+		noretain: make(map[types.Object]noretainScope),
 	}
 	a.std = importer.ForCompiler(a.fset, "source", nil)
 
@@ -122,6 +164,19 @@ type analyzer struct {
 	fset    *token.FileSet
 	std     types.Importer
 	checked map[string]*checkedPkg
+	// enabled is the selected rule subset (rule name -> run it).
+	enabled map[string]bool
+	// noretain indexes the //ttdiag:noretain annotation across every package
+	// typechecked under this root (dependencies included), so a consumer
+	// package sees the contract of the provider it imports.
+	noretain map[types.Object]noretainScope
+}
+
+// noretainScope records which side of a //ttdiag:noretain contract a
+// function declares: borrowed parameters (the body must not retain them),
+// borrowed results (callers must not retain them), or both.
+type noretainScope struct {
+	params, results bool
 }
 
 // checkedPkg memoizes one typechecked package.
@@ -228,10 +283,18 @@ func (a *analyzer) analyzeDir(dir string) ([]Diagnostic, error) {
 	ig := newIgnorer(a.fset, cp.files)
 	var diags []Diagnostic
 	p := &pass{
-		path:  path,
-		fset:  a.fset,
-		files: cp.files,
-		info:  cp.info,
+		path:    path,
+		fset:    a.fset,
+		files:   cp.files,
+		info:    cp.info,
+		ignorer: ig,
+		enabled: a.enabled,
+		noretain: func(obj types.Object) noretainScope {
+			if obj == nil {
+				return noretainScope{}
+			}
+			return a.noretain[obj]
+		},
 		report: func(pos token.Pos, rule, format string, args ...any) {
 			position := a.fset.Position(pos)
 			if ig.suppressed(position, rule) {
@@ -247,8 +310,10 @@ func (a *analyzer) analyzeDir(dir string) ([]Diagnostic, error) {
 			})
 		},
 	}
+	// Registry order matters only for stale-ignore, which is registered last
+	// so it observes which directives the other rules consumed.
 	for _, r := range rules {
-		if r.applies(path) {
+		if a.enabled[r.name] && r.applies(path) {
 			r.run(p)
 		}
 	}
@@ -293,6 +358,45 @@ func (a *analyzer) check(dir, path string) *checkedPkg {
 	cp.pkg, _ = conf.Check(path, a.fset, cp.files, cp.info)
 	if len(typeErrs) > 0 {
 		cp.err = fmt.Errorf("lint: typecheck %s: %v", path, typeErrs[0])
+		return cp
+	}
+	// Index //ttdiag:noretain annotations now, so packages that import this
+	// one (typechecking is demand-driven through moduleImporter, dependencies
+	// first) can resolve the contract of the functions they call. The
+	// directive optionally restricts its scope: "//ttdiag:noretain params"
+	// covers only the parameters, "//ttdiag:noretain results" only the
+	// results; the bare directive covers both.
+	for _, f := range cp.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text, ok := strings.CutPrefix(c.Text, "//ttdiag:noretain")
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				obj := cp.info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				scope := a.noretain[obj]
+				args := strings.Fields(text)
+				if len(args) == 0 {
+					scope.params, scope.results = true, true
+				}
+				for _, arg := range args {
+					switch arg {
+					case "params":
+						scope.params = true
+					case "results":
+						scope.results = true
+					}
+				}
+				a.noretain[obj] = scope
+			}
+		}
 	}
 	return cp
 }
@@ -325,14 +429,29 @@ func (m *moduleImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.
 
 // ignorer indexes //lint:ignore directives by file and line. A directive
 // suppresses matching findings on its own line (trailing comment) and on the
-// line directly below it (standalone comment above the statement).
+// line directly below it (standalone comment above the statement). Each
+// directive remembers whether it ever suppressed a finding, which is what
+// the stale-ignore rule audits.
 type ignorer struct {
-	// rulesAt[file][line] lists the rules ignored at that line.
-	rulesAt map[string]map[int][]string
+	// at[file][line] lists the directives ignoring rules at that line.
+	at map[string]map[int][]*directive
+	// directives lists every well-formed directive in declaration order.
+	directives []*directive
+}
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	// pos is the comment's own position (for stale-ignore findings).
+	pos token.Pos
+	// rule is the named rule (or "all").
+	rule string
+	// used records whether the directive suppressed at least one finding
+	// during this analysis.
+	used bool
 }
 
 func newIgnorer(fset *token.FileSet, files []*ast.File) *ignorer {
-	ig := &ignorer{rulesAt: make(map[string]map[int][]string)}
+	ig := &ignorer{at: make(map[string]map[int][]*directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -347,12 +466,14 @@ func newIgnorer(fset *token.FileSet, files []*ast.File) *ignorer {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := ig.rulesAt[pos.Filename]
+				byLine := ig.at[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
-					ig.rulesAt[pos.Filename] = byLine
+					byLine = make(map[int][]*directive)
+					ig.at[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], fields[0])
+				d := &directive{pos: c.Pos(), rule: fields[0]}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				ig.directives = append(ig.directives, d)
 			}
 		}
 	}
@@ -360,16 +481,18 @@ func newIgnorer(fset *token.FileSet, files []*ast.File) *ignorer {
 }
 
 func (ig *ignorer) suppressed(pos token.Position, rule string) bool {
-	byLine := ig.rulesAt[pos.Filename]
+	byLine := ig.at[pos.Filename]
 	if byLine == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, r := range byLine[line] {
-			if r == rule || r == "all" {
-				return true
+		for _, d := range byLine[line] {
+			if d.rule == rule || d.rule == "all" {
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }

@@ -14,6 +14,16 @@ type pass struct {
 	files  []*ast.File
 	info   *types.Info
 	report func(pos token.Pos, rule, format string, args ...any)
+	// ignorer exposes the package's //lint:ignore directives and their usage
+	// marks to the stale-ignore rule.
+	ignorer *ignorer
+	// enabled is the rule subset this run executes; stale-ignore consults it
+	// so directives for unselected rules are never reported dead.
+	enabled map[string]bool
+	// noretain returns the //ttdiag:noretain contract of a function object
+	// (resolved across the whole analyzed root); the zero scope means no
+	// annotation.
+	noretain func(obj types.Object) noretainScope
 }
 
 // rule is one named check with its applicability predicate.
@@ -38,11 +48,14 @@ var deterministicPkgs = []string{
 	"internal/membership",
 	"internal/metrics",
 	"internal/replay",
+	"internal/stats",
+	"internal/trace",
 }
 
-// orderSensitivePkgs additionally covers trace emission, where map-iteration
-// order would leak into rendered artefacts and transcripts.
-var orderSensitivePkgs = append([]string{"internal/trace"}, deterministicPkgs...)
+// orderSensitivePkgs covers the packages where map-iteration order would
+// leak into rendered artefacts and transcripts; since internal/trace and
+// internal/stats joined the deterministic set, the two sets coincide.
+var orderSensitivePkgs = deterministicPkgs
 
 // channelPkgs hosts the goroutine-per-node runtime and the campaign worker
 // pool, whose shutdown discipline the channel rule enforces. The lock-step
@@ -87,6 +100,68 @@ var rules = []rule{
 		applies: func(p string) bool { return inPkgs(p, channelPkgs) },
 		run:     checkChannelDiscipline,
 	},
+	{
+		// no-retain is annotation-driven (//ttdiag:noretain), so it is safe
+		// and cheap to run everywhere: packages without annotated providers
+		// or borrowed values produce no findings.
+		name:    "no-retain",
+		applies: func(p string) bool { return true },
+		run:     checkNoRetain,
+	},
+	{
+		// stale-ignore must stay last in the registry: it audits which
+		// //lint:ignore directives the rules above actually consumed. Its
+		// run func is bound in init — checkStaleIgnore inspects the registry
+		// itself, which would otherwise be an initialization cycle.
+		name:    "stale-ignore",
+		applies: func(p string) bool { return true },
+	},
+}
+
+func init() {
+	rules[len(rules)-1].run = checkStaleIgnore
+}
+
+// checkStaleIgnore flags //lint:ignore directives that suppressed nothing in
+// this run. A directive naming a rule that did not execute on its package
+// (deselected via RunRules, or inapplicable there) is skipped rather than
+// reported: its liveness cannot be judged. A directive naming a rule that
+// does not exist at all is always dead.
+func checkStaleIgnore(p *pass) {
+	known := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		known[r.name] = true
+	}
+	for _, d := range p.ignorer.directives {
+		if d.used {
+			continue
+		}
+		if !known[d.rule] && d.rule != "all" {
+			p.report(d.pos, "stale-ignore",
+				"//lint:ignore names unknown rule %q; known rules: %s", d.rule, strings.Join(RuleNames(), ", "))
+			continue
+		}
+		ran := false
+		if d.rule == "all" {
+			for _, r := range rules {
+				if r.name != "stale-ignore" && p.enabled[r.name] && r.applies(p.path) {
+					ran = true
+					break
+				}
+			}
+		} else {
+			for _, r := range rules {
+				if r.name == d.rule {
+					ran = p.enabled[r.name] && r.applies(p.path)
+				}
+			}
+		}
+		if !ran {
+			continue
+		}
+		p.report(d.pos, "stale-ignore",
+			"//lint:ignore %s suppresses nothing; delete the directive or restore the exception it documented", d.rule)
+	}
 }
 
 // wallclockFns are the package time functions that read or depend on the

@@ -1,0 +1,27 @@
+// Package staleignore exercises the suppression-inventory audit: a live
+// //lint:ignore directive stays quiet, a directive that suppresses nothing is
+// itself a finding, and so is one naming a rule that does not exist.
+package staleignore
+
+import "math/rand"
+
+// Roll carries a live suppression: the directive consumes the finding on the
+// next line, so stale-ignore must not flag it.
+func Roll() int {
+	//lint:ignore no-global-rand fixture: the directive below is live
+	return rand.Intn(6)
+}
+
+// Dead carries a directive with nothing left to suppress — the violation it
+// once excused has been refactored away.
+func Dead() int {
+	//lint:ignore no-global-rand fixture: stale, the call it excused is gone
+	return 6
+}
+
+// Unknown names a rule that was never registered, so the directive can never
+// suppress anything.
+func Unknown() int {
+	//lint:ignore no-determinism fixture: misspelled rule name
+	return 7
+}

@@ -1,0 +1,25 @@
+// Package stats mirrors internal/stats in the fixture tree: since the
+// estimator layer joined the deterministic set, clock reads and map-order
+// leaks there must be findings.
+package stats
+
+import "time"
+
+// Summary is a rendered artefact map-iteration order would leak into.
+type Summary struct {
+	PerNode map[int]float64
+}
+
+// Render iterates the map unsorted — nondeterministic output order.
+func (s Summary) Render() []float64 {
+	var out []float64
+	for _, v := range s.PerNode {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Stamp reads the host clock inside an estimator.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

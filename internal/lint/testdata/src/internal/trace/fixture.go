@@ -1,0 +1,22 @@
+// Package trace mirrors internal/trace in the fixture tree: trace streams
+// are replay artefacts, so wall-clock timestamps in them are findings now
+// that the package is in the deterministic set.
+package trace
+
+import "time"
+
+// Event is one trace record.
+type Event struct {
+	Round int
+	At    time.Duration
+}
+
+// SlotTime derives the timestamp from the simulated schedule — legal.
+func SlotTime(round, slot, slotsPerRound int, slotLen time.Duration) time.Duration {
+	return time.Duration(round*slotsPerRound+slot) * slotLen
+}
+
+// Emit stamps the event with the host clock instead of the schedule.
+func Emit(round int) Event {
+	return Event{Round: round, At: time.Since(time.Time{})}
+}

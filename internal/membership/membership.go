@@ -127,7 +127,10 @@ func (s *Service) History() []View {
 	return append(out, s.view.clone())
 }
 
-// Step executes one round of the membership service.
+// Step executes one round of the membership service. Like
+// core.Protocol.Step, the input's slices stay caller-owned.
+//
+//ttdiag:noretain params
 func (s *Service) Step(in core.RoundInput) (Output, error) {
 	diag, err := s.proto.Step(in)
 	if err != nil {
@@ -138,7 +141,10 @@ func (s *Service) Step(in core.RoundInput) (Output, error) {
 
 // StepPacked executes one round on packed observations (the zero-conversion
 // entry of the hot path, available when the underlying protocol runs the
-// packed representation — see core.Protocol.StepPacked).
+// packed representation — see core.Protocol.StepPacked). The input's slices
+// stay caller-owned.
+//
+//ttdiag:noretain params
 func (s *Service) StepPacked(in core.PackedRoundInput) (Output, error) {
 	diag, err := s.proto.StepPacked(in)
 	if err != nil {

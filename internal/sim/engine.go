@@ -278,6 +278,8 @@ func (e *Engine) RunRounds(count int) error {
 // stays valid until the next RunRound (which may grow the block) or
 // ResetForRun — callers that keep rows across rounds must copy them. Every
 // in-tree auditor reads rows immediately or after the run has finished.
+//
+//ttdiag:noretain
 func (e *Engine) Truth(round int) []tdma.OutcomeClass {
 	stride := e.sched.N() + 1
 	if round < 0 || (round+1)*stride > len(e.truth) {

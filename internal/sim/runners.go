@@ -44,7 +44,10 @@ func (sc *inputScratch) bindCollision(ctrl *tdma.Controller) {
 // read or a stored round-start snapshot) into the protocol's round input:
 // decoded diagnostic messages (nil = ε for invalid or undecodable payloads),
 // the validity-bit vector, and the collision-detector query. The returned
-// input aliases the scratch and is valid until the next build.
+// input aliases the scratch and is valid until the next build; values and
+// valid stay caller-owned (typically controller scratch) and are only read.
+//
+//ttdiag:noretain
 func (sc *inputScratch) build(round, n int, values [][]byte, valid []bool, ctrl *tdma.Controller) core.RoundInput {
 	if sc.dms == nil {
 		sc.dms = make([]core.Syndrome, n+1)
@@ -79,7 +82,9 @@ func (sc *inputScratch) build(round, n int, values [][]byte, valid []bool, ctrl 
 }
 
 // buildRoundInput converts the controller's live interface state into the
-// protocol's round input.
+// protocol's round input (a scratch-aliasing view, like build's).
+//
+//ttdiag:noretain
 func (sc *inputScratch) buildRoundInput(round, n int, ctrl *tdma.Controller) core.RoundInput {
 	values, valid := ctrl.ReadAll()
 	return sc.build(round, n, values, valid, ctrl)
@@ -91,6 +96,8 @@ func (sc *inputScratch) buildRoundInput(round, n int, ctrl *tdma.Controller) cor
 // presence and validity masks — exactly the ε + invalid outcome of the
 // scalar build. The returned input aliases sc.prows (the protocol copies
 // rows in, so reuse after the step is safe).
+//
+//ttdiag:noretain
 func (sc *inputScratch) buildPacked(round, n int, values [][]byte, validMask uint64, ctrl *tdma.Controller) core.PackedRoundInput {
 	if sc.prows == nil {
 		sc.prows = make([]core.BitSyndrome, n+1)

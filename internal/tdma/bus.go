@@ -171,6 +171,8 @@ func (b *Bus) ClearDisturbances() { b.dist = nil }
 // The returned report is bus-owned scratch, overwritten by the next
 // TransmitSlot — observers that keep reports across slots must use
 // TxReport.Clone.
+//
+//ttdiag:noretain
 func (b *Bus) TransmitSlot(round, slot int) (*TxReport, error) {
 	if !b.sched.ValidSlot(slot) {
 		return nil, fmt.Errorf("tdma: invalid slot %d", slot)

@@ -96,6 +96,8 @@ func (c *Controller) N() int { return c.n }
 // it will be broadcast at the node's next sending slot. The payload is
 // copied into controller-owned scratch — the caller keeps ownership of its
 // slice.
+//
+//ttdiag:noretain params
 func (c *Controller) WriteInterface(payload []byte) {
 	c.outbox = append(c.outbox[:0], payload...)
 }
@@ -104,6 +106,8 @@ func (c *Controller) WriteInterface(payload []byte) {
 // bit. The returned slice is controller-owned scratch: it must not be
 // modified and is overwritten by the next delivery from j — callers must not
 // retain it across slots.
+//
+//ttdiag:noretain
 func (c *Controller) ReadValue(j NodeID) (payload []byte, valid bool) {
 	if j < 1 || int(j) > c.n {
 		return nil, false
@@ -116,6 +120,8 @@ func (c *Controller) ReadValue(j NodeID) (payload []byte, valid bool) {
 // they reference are controller-owned: they must not be modified, and they
 // are overwritten in place by subsequent deliveries — callers must not
 // retain them across slots. Use Snapshot for a retain-safe deep copy.
+//
+//ttdiag:noretain
 func (c *Controller) ReadAll() (values [][]byte, valid []bool) {
 	return c.values, c.valid
 }
@@ -198,6 +204,8 @@ func (c *Controller) Collision(round int) (collided, ok bool) {
 // locally detected faulty frame). The payload is copied into the
 // controller's per-sender scratch buffer, so the delivery's slice stays
 // owned by the caller.
+//
+//ttdiag:noretain params
 func (c *Controller) ApplyDelivery(sender NodeID, d Delivery) {
 	if sender < 1 || int(sender) > c.n {
 		return
@@ -224,5 +232,9 @@ func (c *Controller) RecordCollision(round int, collided bool) {
 	c.collSeen[i] = true
 }
 
-// Outbox returns the currently staged outgoing payload (nil if none).
+// Outbox returns the currently staged outgoing payload (nil if none). The
+// returned slice is controller-owned scratch, overwritten in place by the
+// next WriteInterface — callers must not retain it.
+//
+//ttdiag:noretain
 func (c *Controller) Outbox() []byte { return c.outbox }

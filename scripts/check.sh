@@ -1,55 +1,67 @@
 #!/usr/bin/env bash
 # check.sh is the repository's full correctness gate: formatting, go vet,
 # build, tests, the race detector on the concurrent packages, the
-# ttdiag_invariants-enabled test run, and the determinism analyzer
-# (cmd/ttdiag-lint). CI runs exactly these steps; run it locally before
-# sending a PR. See docs/STATIC_ANALYSIS.md.
+# ttdiag_invariants-enabled test run, the static-analysis suite
+# (cmd/ttdiag-lint) and the escape-analysis allocation gate. CI runs exactly
+# these steps; run it locally before sending a PR. Each step reports its
+# wall-clock duration, and a summary table prints at the end. See
+# docs/STATIC_ANALYSIS.md.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt =="
-unformatted=$(gofmt -l .)
-if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$unformatted" >&2
-    exit 1
-fi
+timings=()
 
-echo "== go vet =="
-go vet ./...
+# step <title> <command...> runs one gate step, timing it.
+step() {
+    local title=$1
+    shift
+    echo "== $title =="
+    local start=$SECONDS
+    "$@"
+    local elapsed=$((SECONDS - start))
+    timings+=("$(printf '%4ds  %s' "$elapsed" "$title")")
+}
 
-echo "== go build =="
-go build ./...
+check_gofmt() {
+    local unformatted
+    unformatted=$(gofmt -l .)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$unformatted" >&2
+        exit 1
+    fi
+}
 
-echo "== go test =="
-go test ./...
+check_metrics_determinism() {
+    go test -race -cpu=1,4 ./internal/experiments/ -run TestMetricsWorkerCountInvariance
+    go test -race -cpu=1,4 ./internal/cluster/ -run TestClusterMetricsMatchLockStep
+}
 
-echo "== go test -race (concurrent packages) =="
-go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/...
+step "gofmt" check_gofmt
+step "go vet" go vet ./...
+step "go build" go build ./...
+step "go test" go test ./...
+step "go test -race (concurrent packages)" \
+    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/...
+step "go test -race -cpu=1,4 (campaign determinism)" \
+    go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
+step "go test -race -cpu=1,4 (metrics determinism)" check_metrics_determinism
+step "go test -race -cpu=1,4 (cluster reuse equivalence)" \
+    go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
+step "go test -race -cpu=1,4 (packed/scalar step equivalence)" \
+    go test -race -cpu=1,4 ./internal/core/ -run TestPackedScalarStepEquivalence
+step "go test (allocation ceilings)" \
+    go test ./internal/core/ ./internal/sim/ -run 'Allocs'
+step "go test -fuzz (packed voting kernel, seed corpus + short fuzz)" \
+    go test ./internal/core/ -run FuzzVoteAll -fuzz FuzzVoteAll -fuzztime 30s
+step "go test -tags ttdiag_invariants" \
+    go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...
+step "ttdiag-lint (+ escape gate)" \
+    go run ./cmd/ttdiag-lint -escapes ./...
 
-echo "== go test -race -cpu=1,4 (campaign determinism) =="
-go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
-
-echo "== go test -race -cpu=1,4 (metrics determinism) =="
-go test -race -cpu=1,4 ./internal/experiments/ -run TestMetricsWorkerCountInvariance
-go test -race -cpu=1,4 ./internal/cluster/ -run TestClusterMetricsMatchLockStep
-
-echo "== go test -race -cpu=1,4 (cluster reuse equivalence) =="
-go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
-
-echo "== go test -race -cpu=1,4 (packed/scalar step equivalence) =="
-go test -race -cpu=1,4 ./internal/core/ -run TestPackedScalarStepEquivalence
-
-echo "== go test (allocation ceilings) =="
-go test ./internal/core/ ./internal/sim/ -run 'Allocs'
-
-echo "== go test -fuzz (packed voting kernel, seed corpus + short fuzz) =="
-go test ./internal/core/ -run FuzzVoteAll -fuzz FuzzVoteAll -fuzztime 30s
-
-echo "== go test -tags ttdiag_invariants =="
-go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...
-
-echo "== ttdiag-lint =="
-go run ./cmd/ttdiag-lint ./...
-
+echo
+echo "== step timings =="
+for t in "${timings[@]}"; do
+    echo "$t"
+done
 echo "All checks passed."
