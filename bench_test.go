@@ -84,6 +84,27 @@ func BenchmarkSec8BurstCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkSec8BurstCampaignBatched is the same 12-class, 100-repetition
+// campaign on the lane-packed batched path (Params.Batched): gangs of 16
+// repetitions share each protocol step and each bus delivery. The rendered
+// output is bit-identical to BenchmarkSec8BurstCampaign; the ns/op ratio
+// between the two at workers=1 is the tentpole's speedup figure (tracked in
+// BENCH_campaign.json, discussed in docs/PERFORMANCE.md).
+func BenchmarkSec8BurstCampaignBatched(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := experiments.Run("sec8-bursts", experiments.Params{
+					Seed: 1, Runs: 100, Workers: workers, Out: io.Discard, Batched: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSec8MaliciousCampaign(b *testing.B) { benchExperiment(b, "sec8-malicious", 1) }
 
 func BenchmarkSec8CliqueCampaign(b *testing.B) { benchExperiment(b, "sec8-clique", 1) }

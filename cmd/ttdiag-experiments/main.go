@@ -5,8 +5,8 @@
 // Usage:
 //
 //	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s] [-workers n]
-//	                   [-metrics f] [-trace f] [-progress] [-progress-addr a]
-//	                   [-cpuprofile f] [-memprofile f]
+//	                   [-batched] [-metrics f] [-trace f] [-progress]
+//	                   [-progress-addr a] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -37,6 +37,7 @@ func run(args []string) error {
 		runs       = fs.Int("runs", 100, "Monte-Carlo repetitions per experiment class")
 		seed       = fs.Int64("seed", 2007, "master seed for randomised campaigns")
 		workers    = fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical at any value")
+		batched    = fs.Bool("batched", false, "lane-packed batched execution for the campaigns that support it (identical output, ~5.8x faster; ignored with -trace)")
 		out        = fs.String("out", "", "also write the rendered artifacts to this file")
 		metricsOut = fs.String("metrics", "", "write a versioned machine-readable metrics report (JSON) to this file")
 		traceOut   = fs.String("trace", "", "stream simulation trace events (JSONL) to this file; forces -workers=1 so the event order is deterministic")
@@ -85,7 +86,7 @@ func run(args []string) error {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	p := experiments.Params{Seed: *seed, Runs: *runs, Workers: *workers, Out: w}
+	p := experiments.Params{Seed: *seed, Runs: *runs, Workers: *workers, Out: w, Batched: *batched}
 
 	var rep *metrics.Report
 	if *metricsOut != "" {

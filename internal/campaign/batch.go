@@ -1,0 +1,54 @@
+package campaign
+
+import "fmt"
+
+// RunBatchedWith schedules runs repetitions as gangs of up to `gang` runs
+// each and fans the gangs across the worker pool: gang g covers the
+// contiguous run indices [g·gang, min((g+1)·gang, runs)) — the final gang is
+// ragged when gang does not divide runs. The intended use is lane-packed
+// batched execution, where one worker state advances a whole gang of
+// repetitions at once (e.g. sim.BatchDiagCluster with one lane per run).
+//
+// fn receives the worker state, the gang's base run index and its width, and
+// writes one result per run into out (out[i] belongs to run base+i; the
+// slice views disjoint windows of the campaign result, so no locking is
+// needed). The determinism contract of RunPooledWith carries over: fn must
+// derive each run's randomness from base+i, never from the gang or worker
+// identity, so the campaign result is bit-identical at every worker count
+// AND every gang width. OnRunDone is invoked once per run of a completed
+// gang, in run order within the gang.
+func RunBatchedWith[S, T any](o Options, runs, gang int, newState func() (S, error), fn func(state S, base, width int, out []T) error) ([]T, error) {
+	if runs < 0 {
+		return nil, fmt.Errorf("campaign: negative run count %d", runs)
+	}
+	if gang < 1 {
+		return nil, fmt.Errorf("campaign: gang width %d must be >= 1", gang)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("campaign: nil run function")
+	}
+	results := make([]T, runs)
+	gangs := (runs + gang - 1) / gang
+	inner := o
+	inner.OnRunDone = nil
+	_, err := RunPooledWith(inner, gangs, newState, func(state S, g int) (struct{}, error) {
+		base := g * gang
+		width := gang
+		if base+width > runs {
+			width = runs - base
+		}
+		if err := fn(state, base, width, results[base:base+width:base+width]); err != nil {
+			return struct{}{}, fmt.Errorf("gang of runs %d-%d: %w", base, base+width-1, err)
+		}
+		if o.OnRunDone != nil {
+			for i := 0; i < width; i++ {
+				o.OnRunDone(base + i)
+			}
+		}
+		return struct{}{}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -86,6 +86,69 @@ func TestProtocolStepAllocs(t *testing.T) {
 	}
 }
 
+// stepBatchAlloc builds a full-width steady-state gang plus a step closure
+// for the batched allocation measurement.
+func stepBatchAlloc(t *testing.T, n int, withMetrics bool) func() {
+	t.Helper()
+	lanes := BatchLanes(n)
+	p, err := NewBatchProtocol(Config{
+		N: n, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 1 << 50, RewardThreshold: 1 << 50},
+	}, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMetrics {
+		for r := 0; r < lanes; r++ {
+			p.SetLaneMetrics(r, NewStepMetrics(metrics.New()))
+		}
+	}
+	allB := p.allB
+	rows := make([]BitSyndrome, n+1)
+	for j := 1; j <= n; j++ {
+		rows[j] = BitSyndrome{Op: allB, Known: allB}
+	}
+	validity := BitSyndrome{Op: allB, Known: allB}
+	round := 0
+	return func() {
+		in := BatchRoundInput{Round: round, Rows: rows, Present: allB, Validity: validity}
+		if _, err := p.StepBatch(in); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	}
+}
+
+// TestStepBatchAllocs pins the batched hot path at zero steady-state
+// allocations: every gang output is returned by value and all lane state
+// lives in preallocated planes, so advancing ⌊64/N⌋ runs costs no heap
+// traffic at all. The enforced ceiling is 1 (the satellite's contract);
+// the expected value is 0.
+func TestStepBatchAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
+	}
+	for _, tc := range []struct {
+		name        string
+		n           int
+		withMetrics bool
+	}{
+		{"n4", 4, false},
+		{"n16", 16, false},
+		{"n4_metrics", 4, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			step := stepBatchAlloc(t, tc.n, tc.withMetrics)
+			for i := 0; i < 16; i++ {
+				step()
+			}
+			if avg := testing.AllocsPerRun(200, step); avg > 1 {
+				t.Fatalf("StepBatch allocates %.2f objects/round in steady state, ceiling 1", avg)
+			}
+		})
+	}
+}
+
 // TestVoteAllAllocs pins the word-parallel voting kernel and the packed row
 // write at zero allocations.
 func TestVoteAllAllocs(t *testing.T) {

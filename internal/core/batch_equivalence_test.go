@@ -1,0 +1,383 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/rng"
+)
+
+// batchEquivCase is one gang configuration of the lane-packed differential
+// test (diagnostic mode only — the batch path's domain).
+type batchEquivCase struct {
+	name string
+	cfg  Config
+}
+
+func batchEquivCases() []batchEquivCase {
+	var cases []batchEquivCase
+	for _, n := range []int{2, 4, 7, 8, 16, 33, 64} {
+		id := 1 + n/2
+		cases = append(cases,
+			batchEquivCase{
+				name: fmt.Sprintf("diag_n%d", n),
+				cfg: Config{
+					// L >= ID: the job runs after the node's slot.
+					N: n, ID: n / 2, L: n / 2, SendCurrRound: false,
+					Mode: ModeDiagnostic,
+					PR:   PRConfig{PenaltyThreshold: 2, RewardThreshold: 3},
+				},
+			},
+			batchEquivCase{
+				name: fmt.Sprintf("allcurr_n%d", n),
+				cfg: Config{
+					N: n, ID: id, L: id - 1, SendCurrRound: true, AllSendCurrRound: true,
+					Mode: ModeDiagnostic, StartRound: 5,
+					PR: PRConfig{PenaltyThreshold: 1, RewardThreshold: 2, ReintegrationThreshold: 4},
+				},
+			},
+			batchEquivCase{
+				name: fmt.Sprintf("dynamic_n%d", n),
+				cfg: Config{
+					N: n, ID: id, Dynamic: true, SendCurrRound: true,
+					Mode: ModeDiagnostic,
+					PR:   PRConfig{PenaltyThreshold: 3, RewardThreshold: 2, ReintegrationThreshold: 3},
+				},
+			},
+		)
+	}
+	return cases
+}
+
+// batchGangWidths picks the gang widths to exercise for an n-node system:
+// a single lane, the full word, and a ragged width in between when one
+// exists.
+func batchGangWidths(n int) []int {
+	max := BatchLanes(n)
+	widths := []int{1}
+	if mid := max/2 + 1; mid > 1 && mid < max {
+		widths = append(widths, mid)
+	}
+	if max > 1 {
+		widths = append(widths, max)
+	}
+	return widths
+}
+
+// randomPackedInput draws one per-run round input in packed form, covering
+// the same observation space as randomStepInput: ε variables, out-of-spec
+// validity entries, random opinions with erased cells.
+func randomPackedInput(st *rng.Stream, n, round int, collision CollisionFn) PackedRoundInput {
+	in := PackedRoundInput{
+		Round:     round,
+		Rows:      make([]BitSyndrome, n+1),
+		Validity:  bitSyndromeAllHealthy(n),
+		Collision: collision,
+	}
+	for j := 1; j <= n; j++ {
+		switch {
+		case st.Bool(0.15): // ε: nothing received
+			in.Validity.Set(j, Faulty)
+		case st.Bool(0.05): // stressing an out-of-spec validity entry
+			in.Validity.Set(j, Erased)
+			in.Rows[j] = packSyndrome(randomSyndrome(st, n, 0.2))
+			in.Present |= 1 << uint(j-1)
+		default:
+			in.Rows[j] = packSyndrome(randomSyndrome(st, n, 0.2))
+			in.Present |= 1 << uint(j-1)
+		}
+	}
+	return in
+}
+
+// packGangInput folds per-lane packed inputs into one lane-packed gang
+// input. collisionFaulty bit r carries lane r's collision verdict.
+func packGangInput(n, round int, laneIns []PackedRoundInput, collisionFaulty uint64) BatchRoundInput {
+	gang := BatchRoundInput{
+		Round:           round,
+		Rows:            make([]BitSyndrome, n+1),
+		CollisionFaulty: collisionFaulty,
+	}
+	for lane, in := range laneIns {
+		shift := uint(lane * n)
+		gang.Present |= in.Present << shift
+		gang.Validity.Op |= in.Validity.Op << shift
+		gang.Validity.Known |= in.Validity.Known << shift
+		for j := 1; j <= n; j++ {
+			gang.Rows[j].Op |= in.Rows[j].Op << shift
+			gang.Rows[j].Known |= in.Rows[j].Known << shift
+		}
+	}
+	return gang
+}
+
+func intsToMask(xs []int) uint64 {
+	var m uint64
+	for _, j := range xs {
+		m |= 1 << uint(j-1)
+	}
+	return m
+}
+
+// TestBatchStepEquivalence runs G per-run packed protocols and one gang
+// BatchProtocol side by side on identical per-lane random inputs — ε rows,
+// erased entries, per-lane collision verdicts, mixed isolation states across
+// lanes — at every exercised gang width (single lane, ragged, full word),
+// and requires lane-exact agreement on every output field, every per-lane
+// metric value, and byte-identical per-lane snapshot JSON on every round.
+func TestBatchStepEquivalence(t *testing.T) {
+	const rounds = 48
+	for _, tc := range batchEquivCases() {
+		for _, lanes := range batchGangWidths(tc.cfg.N) {
+			t.Run(fmt.Sprintf("%s_g%d", tc.name, lanes), func(t *testing.T) {
+				n := tc.cfg.N
+				gang, err := NewBatchProtocol(tc.cfg, lanes)
+				if err != nil {
+					t.Fatalf("batch: %v", err)
+				}
+				refs := make([]*Protocol, lanes)
+				refRegs := make([]*metrics.Registry, lanes)
+				laneRegs := make([]*metrics.Registry, lanes)
+				for r := range refs {
+					if refs[r], err = newProtocol(tc.cfg, true); err != nil {
+						t.Fatalf("ref lane %d: %v", r, err)
+					}
+					refRegs[r] = metrics.New()
+					laneRegs[r] = metrics.New()
+					refs[r].SetMetrics(NewStepMetrics(refRegs[r]))
+					gang.SetLaneMetrics(r, NewStepMetrics(laneRegs[r]))
+				}
+				streams := make([]*rng.Stream, lanes)
+				for r := range streams {
+					streams[r] = rng.NewStream(int64(9000 + 100*tc.cfg.N + 10*lanes + r))
+				}
+				laneIns := make([]PackedRoundInput, lanes)
+				sendBuf := make([]byte, EncodedLen(n))
+				refSendBuf := make([]byte, EncodedLen(n))
+				for step := 0; step < rounds; step++ {
+					round := tc.cfg.StartRound + step
+					var collisionFaulty uint64
+					for r := range laneIns {
+						lane := r
+						verdictFaulty := (round+lane)%5 == 0
+						if verdictFaulty {
+							collisionFaulty |= 1 << uint(lane)
+						}
+						laneIns[r] = randomPackedInput(streams[r], n, round, func(int) Opinion {
+							if verdictFaulty {
+								return Faulty
+							}
+							return Healthy
+						})
+					}
+					gOut, gErr := gang.StepBatch(packGangInput(n, round, laneIns, collisionFaulty))
+					if gErr != nil {
+						t.Fatalf("round %d: StepBatch: %v", round, gErr)
+					}
+					for r := range refs {
+						tag := fmt.Sprintf("round %d lane %d", round, r)
+						out, err := refs[r].StepPacked(laneIns[r])
+						if err != nil {
+							t.Fatalf("%s: StepPacked: %v", tag, err)
+						}
+						if gOut.Round != out.Round || gOut.DiagnosedRound != out.DiagnosedRound {
+							t.Fatalf("%s: round fields diverged: batch %d/%d, ref %d/%d",
+								tag, gOut.Round, gOut.DiagnosedRound, out.Round, out.DiagnosedRound)
+						}
+						if gOut.Warm != (out.ConsHV != nil) {
+							t.Fatalf("%s: warm %v, ref ConsHV nil=%v", tag, gOut.Warm, out.ConsHV == nil)
+						}
+						if hv := gOut.LaneConsHV(r, n); hv != out.ConsHVBits {
+							t.Fatalf("%s: ConsHV diverged: batch %+v, ref %+v", tag, hv, out.ConsHVBits)
+						}
+						laneSend := gOut.LaneSend(r, n)
+						if want := packSyndrome(out.SendSyndrome); laneSend != want {
+							t.Fatalf("%s: SendSyndrome diverged: batch %+v, ref %+v", tag, laneSend, want)
+						}
+						laneSend.EncodeInto(sendBuf)
+						copy(refSendBuf, out.Send)
+						if !bytes.Equal(sendBuf, refSendBuf) {
+							t.Fatalf("%s: wire bytes diverged: batch %x, ref %x", tag, sendBuf, refSendBuf)
+						}
+						if got, want := gOut.LaneActiveMask(r, n), out.ActiveMask; got != want {
+							t.Fatalf("%s: ActiveMask diverged: batch %#x, ref %#x", tag, got, want)
+						}
+						if got, want := gOut.LaneIsolated(r, n), intsToMask(out.Isolated); got != want {
+							t.Fatalf("%s: Isolated diverged: batch %#x, ref %#x", tag, got, want)
+						}
+						if got, want := gOut.LaneReintegrated(r, n), intsToMask(out.Reintegrated); got != want {
+							t.Fatalf("%s: Reintegrated diverged: batch %#x, ref %#x", tag, got, want)
+						}
+						gSnap, err := gang.SnapshotLane(r)
+						if err != nil {
+							t.Fatalf("%s: SnapshotLane: %v", tag, err)
+						}
+						refSnap, err := refs[r].Snapshot()
+						if err != nil {
+							t.Fatalf("%s: ref snapshot: %v", tag, err)
+						}
+						if !bytes.Equal(gSnap, refSnap) {
+							t.Fatalf("%s: snapshot JSON diverged:\nbatch %s\nref   %s", tag, gSnap, refSnap)
+						}
+					}
+				}
+				for r := range refs {
+					got, err := json.Marshal(laneRegs[r].Snapshot())
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := json.Marshal(refRegs[r].Snapshot())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("lane %d: metric snapshots diverged:\nbatch %s\nref   %s", r, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchProtocolReset pins that Reset rewinds the gang to a freshly
+// constructed state at any (including ragged) width: a reset gang must
+// reproduce a fresh gang's outputs bit for bit.
+func TestBatchProtocolReset(t *testing.T) {
+	cfg := Config{N: 4, ID: 2, L: 0, SendCurrRound: true,
+		Mode: ModeDiagnostic, PR: PRConfig{PenaltyThreshold: 2, RewardThreshold: 2}}
+	reused, err := NewBatchProtocol(cfg, BatchLanes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *BatchProtocol, lanes int, seed int64) []BatchRoundOutput {
+		st := rng.NewStream(seed)
+		outs := make([]BatchRoundOutput, 0, 12)
+		laneIns := make([]PackedRoundInput, lanes)
+		for round := 0; round < 12; round++ {
+			for r := range laneIns {
+				laneIns[r] = randomPackedInput(st, 4, round, nil)
+			}
+			out, err := p.StepBatch(packGangInput(4, round, laneIns, 0))
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs = append(outs, out)
+		}
+		return outs
+	}
+	for trial, lanes := range []int{16, 3, 16, 1} {
+		seed := int64(400 + trial)
+		reused.Reset(lanes)
+		got := run(reused, lanes, seed)
+		fresh, err := NewBatchProtocol(cfg, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(fresh, lanes, seed)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("lanes=%d round %d: reused %+v, fresh %+v", lanes, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchProtocolBounds pins the constructor's domain: diagnostic mode
+// only, 1..⌊64/N⌋ lanes, packed-eligible widths.
+func TestBatchProtocolBounds(t *testing.T) {
+	diag := Config{N: 4, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}}
+	if _, err := NewBatchProtocol(diag, 17); err == nil {
+		t.Fatal("17 lanes of an N=4 system must not fit")
+	}
+	if _, err := NewBatchProtocol(diag, 0); err == nil {
+		t.Fatal("0 lanes must be rejected")
+	}
+	mem := diag
+	mem.Mode = ModeMembership
+	if _, err := NewBatchProtocol(mem, 1); err == nil {
+		t.Fatal("membership mode must be rejected")
+	}
+	wide := Config{N: MaxPackedN + 1, ID: 1, L: 0, SendCurrRound: true,
+		PR: PRConfig{PenaltyThreshold: 1, RewardThreshold: 1}}
+	if _, err := NewBatchProtocol(wide, 1); err == nil {
+		t.Fatalf("N=%d must be rejected", wide.N)
+	}
+	if got := BatchLanes(4); got != 16 {
+		t.Fatalf("BatchLanes(4) = %d, want 16", got)
+	}
+	if got := BatchLanes(64); got != 1 {
+		t.Fatalf("BatchLanes(64) = %d, want 1", got)
+	}
+	if got := BatchLanes(65); got != 0 {
+		t.Fatalf("BatchLanes(65) = %d, want 0", got)
+	}
+}
+
+// FuzzVoteAllBatch is the gang form of FuzzVoteAll: arbitrary row planes for
+// an arbitrary gang (random width, ragged, mixed per-lane content) must vote
+// lane-for-lane identically to the per-run word-parallel kernel. The seeds
+// double as a regular seeded corpus in CI.
+func FuzzVoteAllBatch(f *testing.F) {
+	f.Add(uint8(4), uint8(16), []byte{0xff, 0x0f, 0x03, 0x0c, 0x00, 0x00, 0x05, 0x0a})
+	f.Add(uint8(4), uint8(3), []byte{0xaa, 0x55, 0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc})
+	f.Add(uint8(8), uint8(8), []byte{0xde, 0xf0, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66})
+	f.Add(uint8(64), uint8(1), []byte{})
+	f.Add(uint8(7), uint8(2), []byte{0x01, 0x80, 0x42, 0x24, 0x18, 0x81, 0x00, 0xff})
+	f.Fuzz(func(t *testing.T, nRaw, lanesRaw uint8, data []byte) {
+		n := int(nRaw)%MaxPackedN + 1
+		maxLanes := BatchLanes(n)
+		lanes := int(lanesRaw)%maxLanes + 1
+		laneAll := PlaneMask(n)
+		var laneRep uint64
+		for r := 0; r < lanes; r++ {
+			laneRep |= 1 << uint(r*n)
+		}
+		allB := laneRep * laneAll
+		op := make([]uint64, n+1)
+		know := make([]uint64, n+1)
+		// Consume 16 bytes per gang row (op word, know word); rows beyond
+		// the data stay ε in every lane.
+		src := data
+		for j := 1; j <= n && len(src) >= 16; j++ {
+			var o, k uint64
+			for i := 0; i < 8; i++ {
+				o |= uint64(src[i]) << uint(8*i)
+				k |= uint64(src[8+i]) << uint(8*i)
+			}
+			src = src[16:]
+			op[j] = o & k & allB
+			know[j] = k & allB
+		}
+		consOp, consKnown := voteAllLanes(op, know, n, laneRep)
+		if consOp&^consKnown != 0 || consKnown&^allB != 0 {
+			t.Fatalf("n=%d lanes=%d: malformed gang verdict op=%#x known=%#x", n, lanes, consOp, consKnown)
+		}
+		for lane := 0; lane < lanes; lane++ {
+			ref, err := NewPackedMatrix(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 1; j <= n; j++ {
+				rowKnow := laneExtract(know[j], lane, n)
+				if rowKnow == 0 {
+					continue // ε row: a zero know segment encodes absence
+				}
+				if err := ref.SetBitRow(j, BitSyndrome{Op: laneExtract(op[j], lane, n), Known: rowKnow}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := ref.VoteAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := BitSyndrome{Op: laneExtract(consOp, lane, n), Known: laneExtract(consKnown, lane, n)}
+			if got != want {
+				t.Fatalf("n=%d lanes=%d lane %d: gang vote %+v, per-run %+v", n, lanes, lane, got, want)
+			}
+		}
+	})
+}

@@ -131,6 +131,44 @@ func BenchmarkStepMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkStepBatch measures one gang execution: ⌊64/N⌋ independent runs
+// advanced by a single lane-packed protocol step. Divide ns/op by the lane
+// count for the amortised per-run cost; compare against BenchmarkProtocolStep
+// in BENCH_campaign.json for the per-run packed baseline. Tracked in
+// BENCH_core.json.
+func BenchmarkStepBatch(b *testing.B) {
+	for _, n := range benchSizes {
+		lanes := BatchLanes(n)
+		b.Run(fmt.Sprintf("n%d_g%d", n, lanes), func(b *testing.B) {
+			p, err := NewBatchProtocol(Config{
+				N: n, ID: 1, L: 0, SendCurrRound: true,
+				PR: PRConfig{PenaltyThreshold: 1 << 50, RewardThreshold: 1 << 50},
+			}, lanes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			allB := p.allB
+			rows := make([]BitSyndrome, n+1)
+			for j := 1; j <= n; j++ {
+				rows[j] = BitSyndrome{Op: allB, Known: allB}
+			}
+			validity := BitSyndrome{Op: allB, Known: allB}
+			for i := 0; i < 16; i++ {
+				if _, err := p.StepBatch(BatchRoundInput{Round: i, Rows: rows, Present: allB, Validity: validity}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.StepBatch(BatchRoundInput{Round: 16 + i, Rows: rows, Present: allB, Validity: validity}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMatrixSetRow compares installing one row as two word stores
 // (packed) against the (N+1)-entry copy of the scalar representation.
 func BenchmarkMatrixSetRow(b *testing.B) {

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
+)
+
+// batchedIDs are the campaigns with a lane-packed batched twin.
+var batchedIDs = []string{"sec8-bursts", "sec8-pr", "sec8-malicious"}
+
+// runCampaign renders one experiment and collects its metrics report.
+func runCampaign(t *testing.T, id string, p Params) (string, metrics.Snapshot) {
+	t.Helper()
+	rep := metrics.NewReport("test", p.Seed, p.Runs)
+	var out bytes.Buffer
+	p.Out = &out
+	p.Metrics = rep
+	if err := Run(id, p); err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), rep.Snapshot(id)
+}
+
+// stripBatchInstruments removes the batch/* occupancy instruments, which
+// exist only on the batched path, so the remaining snapshot can be compared
+// against the per-run reference.
+func stripBatchInstruments(s metrics.Snapshot) metrics.Snapshot {
+	counters := make(map[string]int64, len(s.Counters))
+	for k, v := range s.Counters {
+		if !strings.HasPrefix(k, "batch/") {
+			counters[k] = v
+		}
+	}
+	gauges := make(map[string]int64, len(s.Gauges))
+	for k, v := range s.Gauges {
+		if !strings.HasPrefix(k, "batch/") {
+			gauges[k] = v
+		}
+	}
+	s.Counters = counters
+	s.Gauges = gauges
+	return s
+}
+
+// TestBatchedCampaignEquivalence pins the tentpole's end-to-end contract:
+// for every batchable Sec. 8 campaign, the rendered artifact is
+// byte-identical and the metrics report identical (modulo the batch-only
+// occupancy instruments) between the per-run and the lane-packed path —
+// at a run count with a full and a ragged gang (20 = 16 + 4) and at a
+// run count below one gang (5).
+func TestBatchedCampaignEquivalence(t *testing.T) {
+	for _, id := range batchedIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			for _, runs := range []int{5, 20} {
+				perRun, perRunSnap := runCampaign(t, id, Params{Seed: 7, Runs: runs, Workers: 1})
+				batched, batchedSnap := runCampaign(t, id, Params{Seed: 7, Runs: runs, Workers: 1, Batched: true})
+				if perRun != batched {
+					t.Fatalf("runs=%d: rendered output differs:\n--- per-run ---\n%s\n--- batched ---\n%s", runs, perRun, batched)
+				}
+				if got := stripBatchInstruments(batchedSnap); !reflect.DeepEqual(got, perRunSnap) {
+					gj, _ := json.Marshal(got)
+					wj, _ := json.Marshal(perRunSnap)
+					t.Fatalf("runs=%d: metrics diverge beyond batch/* instruments:\n--- batched ---\n%s\n--- per-run ---\n%s", runs, gj, wj)
+				}
+				// The occupancy instruments must actually be there on the
+				// batched path: every gang accounts its lanes, and a full
+				// 16-lane gang of the 4-node cluster fills the word.
+				if batchedSnap.Counters["batch/lanes"] == 0 || batchedSnap.Counters["batch/gangs"] == 0 {
+					t.Fatalf("runs=%d: missing batch occupancy counters: %v", runs, batchedSnap.Counters)
+				}
+				wantOcc := int64(100) // 16 lanes × 4 nodes of 64 bits
+				if runs < 16 {
+					wantOcc = int64(runs * 4 * 100 / 64)
+				}
+				if got := batchedSnap.Gauges["batch/lane_occupancy_pct"]; got != wantOcc {
+					t.Fatalf("runs=%d: lane occupancy %d%%, want %d%%", runs, got, wantOcc)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedWorkerCountInvariance is the batched-path determinism gate,
+// run under -race -cpu=1,4 by scripts/check.sh and CI: rendered rows and
+// metrics report must be byte-identical whether the gangs run serially or
+// on eight workers.
+func TestBatchedWorkerCountInvariance(t *testing.T) {
+	for _, id := range batchedIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serialOut, serialSnap := runCampaign(t, id, Params{Seed: 7, Runs: 40, Workers: 1, Batched: true})
+			parallelOut, parallelSnap := runCampaign(t, id, Params{Seed: 7, Runs: 40, Workers: 8, Batched: true})
+			if serialOut != parallelOut {
+				t.Fatalf("rendered output differs between workers=1 and workers=8:\n--- serial ---\n%s\n--- 8 workers ---\n%s", serialOut, parallelOut)
+			}
+			if !reflect.DeepEqual(serialSnap, parallelSnap) {
+				t.Fatal("metrics report differs between workers=1 and workers=8")
+			}
+		})
+	}
+}
+
+// TestBatchedTraceFallsBackToPerRun: a trace sink forces the per-run path
+// even with Batched set (tracing is inherently per-repetition), so the
+// stream still carries one boundary note per run.
+func TestBatchedTraceFallsBackToPerRun(t *testing.T) {
+	var rec trace.Recorder
+	if err := Run("sec8-pr", Params{Seed: 7, Runs: 3, Workers: 1, Batched: true, Trace: &rec}); err != nil {
+		t.Fatal(err)
+	}
+	if notes := rec.Filter(trace.KindNote); len(notes) != 3 {
+		t.Fatalf("got %d run-boundary notes, want 3", len(notes))
+	}
+}

@@ -42,7 +42,22 @@ type Params struct {
 	// (campaign.Options.OnRunDone): wall-clock-side progress reporting that
 	// never feeds the rendered artifact or the metrics report.
 	Progress func(run int)
+	// Batched selects the lane-packed batched execution path for the
+	// campaigns that support it (sec8-bursts, sec8-pr, sec8-malicious):
+	// gangs of ⌊64/N⌋ repetitions advance together through one
+	// sim.BatchDiagCluster, one protocol step per node per round for the
+	// whole gang. The rendered rows and per-run observables are
+	// bit-identical to the per-run path (pinned by tests); the metrics
+	// report additionally carries the batch/* occupancy instruments.
+	// Ignored when a Trace sink is attached (tracing is inherently
+	// per-run) and by campaigns with receiver-selective disturbances
+	// (sec8-clique).
+	Batched bool
 }
+
+// batched reports whether the lane-packed campaign path is usable under
+// these parameters.
+func (p Params) batched() bool { return p.Batched && p.Trace == nil }
 
 func (p Params) withDefaults() Params {
 	if p.Runs <= 0 {

@@ -246,6 +246,9 @@ func foldRow(class string, verdicts []runVerdict) CampaignRow {
 // is audited for Theorem 1's correctness, completeness and consistency.
 func BurstCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
+	if p.batched() {
+		return burstCampaignBatched(p)
+	}
 	src := rng.NewSource(p.Seed)
 	ws := p.workerSet()
 	var rows []CampaignRow
@@ -301,6 +304,9 @@ func runSec8Bursts(p Params) error {
 // reward counter must advance every round, identically at every node.
 func PRCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
+	if p.batched() {
+		return prCampaignBatched(p)
+	}
 	src := rng.NewSource(p.Seed)
 	ws := p.workerSet()
 	verdicts, err := campaign.RunPooledWith(p.campaignOpts(), p.Runs,
@@ -356,6 +362,9 @@ func runSec8PR(p Params) error {
 // a correct node as faulty and must stay consistent.
 func MaliciousCampaign(p Params) ([]CampaignRow, error) {
 	p = p.withDefaults()
+	if p.batched() {
+		return maliciousCampaignBatched(p)
+	}
 	src := rng.NewSource(p.Seed)
 	ws := p.workerSet()
 	var rows []CampaignRow

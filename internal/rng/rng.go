@@ -29,9 +29,10 @@ func NewSource(seed int64) *Source {
 
 // Stream returns the deterministic random stream identified by name.
 // Calling Stream twice with the same name returns two independent streams
-// positioned at the same starting point.
+// positioned at the same starting point. Streams are backed by the lazily
+// seeded fastSource, draw-for-draw identical to math/rand's default source.
 func (s *Source) Stream(name string) *Stream {
-	return &Stream{r: rand.New(rand.NewSource(int64(s.mix(name))))}
+	return &Stream{r: rand.New(newFastSource(int64(s.mix(name))))}
 }
 
 // mix derives the stream seed for a name. The hash of the name is mixed with
@@ -95,7 +96,7 @@ type Stream struct {
 // NewStream returns a stand-alone stream seeded directly, for tests that do
 // not need named derivation.
 func NewStream(seed int64) *Stream {
-	return &Stream{r: rand.New(rand.NewSource(seed))}
+	return &Stream{r: rand.New(newFastSource(seed))}
 }
 
 // Int63n returns a uniform integer in [0, n). n must be > 0.

@@ -85,22 +85,28 @@ func (c *Collector) HookMembership(observer int, r *MembershipRunner) {
 	r.OnOutput = func(out membership.Output) { c.record(observer, out.Diag) }
 }
 
+// setHV stores one observer's consistent health vector for a diagnosed
+// round, growing the recorded-round storage as needed. Shared by the
+// per-run hook path (record) and the lane-packed batch cluster.
+func (c *Collector) setHV(d, observer int, hv core.Syndrome) {
+	for len(c.ConsHV) <= d {
+		if len(c.ConsHV) < cap(c.ConsHV) {
+			// Re-extend over storage kept by Reset: the inner slice is
+			// already allocated (and cleared), so reuse it.
+			c.ConsHV = c.ConsHV[:len(c.ConsHV)+1]
+		} else {
+			c.ConsHV = append(c.ConsHV, nil)
+		}
+	}
+	if len(c.ConsHV[d]) != len(hv) {
+		c.ConsHV[d] = make([]core.Syndrome, len(hv))
+	}
+	c.ConsHV[d][observer] = hv
+}
+
 func (c *Collector) record(observer int, out core.RoundOutput) {
 	if out.ConsHV != nil {
-		d := out.DiagnosedRound
-		for len(c.ConsHV) <= d {
-			if len(c.ConsHV) < cap(c.ConsHV) {
-				// Re-extend over storage kept by Reset: the inner slice is
-				// already allocated (and cleared), so reuse it.
-				c.ConsHV = c.ConsHV[:len(c.ConsHV)+1]
-			} else {
-				c.ConsHV = append(c.ConsHV, nil)
-			}
-		}
-		if len(c.ConsHV[d]) != len(out.ConsHV) {
-			c.ConsHV[d] = make([]core.Syndrome, len(out.ConsHV))
-		}
-		c.ConsHV[d][observer] = out.ConsHV
+		c.setHV(out.DiagnosedRound, observer, out.ConsHV)
 	}
 	for _, j := range out.Isolated {
 		c.Isolations = append(c.Isolations, Isolation{Observer: observer, Node: j, Round: out.Round})
@@ -135,6 +141,20 @@ func (c *Collector) FirstIsolationTime(nodeID int, sched *tdma.Schedule) time.Du
 	return sched.RoundStart(round)
 }
 
+// TruthSource is the ground-truth record one simulated run leaves behind:
+// how many rounds executed and, per executed round, the outcome class of
+// every slot transmission (1-based by slot; see Engine.Truth). The lock-step
+// Engine is one source; the lane-packed batch cluster exposes one source per
+// lane.
+type TruthSource interface {
+	// Round returns the number of executed rounds.
+	Round() int
+	// Truth returns the executed round's outcome classes (1-based by slot),
+	// or nil for rounds not executed. The row may alias run-owned storage —
+	// callers must not retain it across runs.
+	Truth(round int) []tdma.OutcomeClass
+}
+
 // AuditTheorem1 checks the three properties of the consistent health vector
 // (Theorem 1) on every diagnosed round in [fromRound, toRound):
 //
@@ -146,9 +166,9 @@ func (c *Collector) FirstIsolationTime(nodeID int, sched *tdma.Schedule) time.Du
 // consistency, as the theorem allows either agreed verdict there. The
 // obedient slice lists the observers whose outputs are trustworthy (all
 // nodes, in campaigns without Byzantine protocol instances).
-func AuditTheorem1(eng *Engine, col *Collector, obedient []int, fromRound, toRound int) error {
+func AuditTheorem1(src TruthSource, col *Collector, obedient []int, fromRound, toRound int) error {
 	for d := fromRound; d < toRound; d++ {
-		truth := eng.Truth(d)
+		truth := src.Truth(d)
 		if truth == nil {
 			return fmt.Errorf("sim: no ground truth for round %d", d)
 		}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/fault"
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/rng"
+	"ttdiag/internal/tdma"
+)
+
+// batchScenario parameterises one lane/run of the batch-vs-engine
+// differential: which disturbances to attach and how long the repetition is.
+type batchScenario struct {
+	name string
+	cfg  ClusterConfig
+	// attach installs run's disturbances on add (the per-run bus or a batch
+	// lane) and returns the repetition horizon in rounds.
+	attach func(run int, sched *tdma.Schedule, add func(tdma.Disturbance)) int
+}
+
+// batchScenarios covers the observable regimes of the batched cluster:
+// pure detection (no isolation), isolation without reintegration (the
+// monotone ignore path plus collision feedback), reintegration (the
+// observe path), a design-time AllSendCurrRound schedule, and malicious
+// senders driving the rng-backed disturbance caching.
+func batchScenarios() []batchScenario {
+	prototype := []int{2, 0, 3, 1}
+	burstAttach := func(run int, sched *tdma.Schedule, add func(tdma.Disturbance)) int {
+		inject := 4 + run%6
+		slots := []int{1, 2, 8}[run%3]
+		start := 1 + run%4
+		add(fault.NewTrain(fault.SlotBurst(sched, inject, start, slots)))
+		return inject + 10 + run%3
+	}
+	return []batchScenario{
+		{
+			name:   "bursts_detect",
+			cfg:    ClusterConfig{Ls: prototype},
+			attach: burstAttach,
+		},
+		{
+			name: "bursts_isolate",
+			cfg: ClusterConfig{
+				Ls: prototype,
+				PR: core.PRConfig{PenaltyThreshold: 3, RewardThreshold: 5},
+			},
+			attach: func(run int, sched *tdma.Schedule, add func(tdma.Disturbance)) int {
+				start := 5 + run%4
+				target := 1 + run%4
+				var bursts []fault.Burst
+				for r := start; r < start+14; r += 2 {
+					bursts = append(bursts, fault.SlotBurst(sched, r, target, 1))
+				}
+				add(fault.NewTrain(bursts...))
+				return start + 18
+			},
+		},
+		{
+			name: "bursts_reintegrate",
+			cfg: ClusterConfig{
+				Ls: prototype,
+				PR: core.PRConfig{PenaltyThreshold: 2, RewardThreshold: 4, ReintegrationThreshold: 3},
+			},
+			// Faulty rounds until the penalty crosses the threshold, then a
+			// quiet tail long enough for the observation window to
+			// reintegrate the target.
+			attach: func(run int, sched *tdma.Schedule, add func(tdma.Disturbance)) int {
+				start := 5 + run%3
+				target := 1 + run%4
+				var bursts []fault.Burst
+				for r := start; r < start+8; r += 2 {
+					bursts = append(bursts, fault.SlotBurst(sched, r, target, 1))
+				}
+				add(fault.NewTrain(bursts...))
+				return start + 20 + run%3
+			},
+		},
+		{
+			name:   "bursts_allcurr",
+			cfg:    ClusterConfig{Ls: []int{0, 1, 2, 3}, AllSendCurrRound: true},
+			attach: burstAttach,
+		},
+		{
+			name: "malicious",
+			cfg:  ClusterConfig{Ls: prototype},
+			attach: func(run int, sched *tdma.Schedule, add func(tdma.Disturbance)) int {
+				mal := tdma.NodeID(1 + run%4)
+				add(fault.NewMaliciousSyndrome(mal, rng.NewStream(int64(4000+run))))
+				return 20 + run%4
+			},
+		},
+	}
+}
+
+// runBatchReference executes one repetition on the per-run lock-step engine
+// and returns its observables: collector, truth rows, final penalties and
+// the telemetry snapshot.
+func runBatchReference(t *testing.T, sc batchScenario, run int) (*Collector, [][]tdma.OutcomeClass, [][]int64, []byte) {
+	t.Helper()
+	cfg := sc.cfg
+	cl, err := NewReusableDiagnosticCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	sm := core.NewStepMetrics(reg)
+	col := NewCollector()
+	n := cl.Config().N
+	for id := 1; id <= n; id++ {
+		col.HookDiag(id, cl.Runners[id])
+		cl.Runners[id].Protocol().SetMetrics(sm)
+	}
+	eng := cl.Eng
+	horizon := sc.attach(run, eng.Schedule(), func(d tdma.Disturbance) { eng.Bus().AddDisturbance(d) })
+	if err := eng.RunRounds(horizon); err != nil {
+		t.Fatal(err)
+	}
+	truth := make([][]tdma.OutcomeClass, horizon)
+	for r := 0; r < horizon; r++ {
+		truth[r] = append([]tdma.OutcomeClass(nil), eng.Truth(r)...)
+	}
+	pen := make([][]int64, n+1)
+	for id := 1; id <= n; id++ {
+		pen[id] = make([]int64, n+1)
+		pr := cl.Runners[id].Protocol().PenaltyReward()
+		for j := 1; j <= n; j++ {
+			pen[id][j] = pr.Penalty(j)
+		}
+	}
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, truth, pen, snap
+}
+
+// TestBatchClusterEquivalence pins the lane-packed batched cluster to the
+// lock-step per-run engine: for every scenario and gang width (full,
+// ragged, single-lane), lane r of the gang must leave behind exactly the
+// observables of per-run repetition r — collector records, ground-truth
+// rows, final penalty counters and telemetry snapshots.
+func TestBatchClusterEquivalence(t *testing.T) {
+	for _, sc := range batchScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			bc, err := NewBatchDiagCluster(sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := bc.Config().N
+			for _, width := range []int{bc.MaxLanes(), bc.MaxLanes()/2 + 1, 1} {
+				width := width
+				t.Run(fmt.Sprintf("g%d", width), func(t *testing.T) {
+					if err := bc.ResetBatch(width); err != nil {
+						t.Fatal(err)
+					}
+					regs := make([]*metrics.Registry, width)
+					for lane := 0; lane < width; lane++ {
+						regs[lane] = metrics.New()
+						sm := core.NewStepMetrics(regs[lane])
+						for id := 1; id <= n; id++ {
+							bc.Proto(id).SetLaneMetrics(lane, sm)
+						}
+						lane := lane
+						h := sc.attach(lane, bc.Schedule(), func(d tdma.Disturbance) { bc.AddLaneDisturbance(lane, d) })
+						bc.SetLaneHorizon(lane, h)
+					}
+					if err := bc.Run(); err != nil {
+						t.Fatal(err)
+					}
+					for lane := 0; lane < width; lane++ {
+						refCol, refTruth, refPen, refSnap := runBatchReference(t, sc, lane)
+						lt := bc.LaneTruth(lane)
+						if lt.Round() != len(refTruth) {
+							t.Fatalf("lane %d: %d recorded rounds, engine executed %d", lane, lt.Round(), len(refTruth))
+						}
+						for r := range refTruth {
+							if got := lt.Truth(r); !reflect.DeepEqual(got, refTruth[r]) {
+								t.Fatalf("lane %d round %d truth:\n got %v\nwant %v", lane, r, got, refTruth[r])
+							}
+						}
+						if got := bc.LaneCollector(lane); !reflect.DeepEqual(got, refCol) {
+							t.Fatalf("lane %d collector diverges:\n got %+v\nwant %+v", lane, got, refCol)
+						}
+						for id := 1; id <= n; id++ {
+							for j := 1; j <= n; j++ {
+								if got, want := bc.LaneFinalPenalty(lane, id, j), refPen[id][j]; got != want {
+									t.Fatalf("lane %d observer %d penalty(%d) = %d, want %d", lane, id, j, got, want)
+								}
+							}
+						}
+						snap, err := json.Marshal(regs[lane].Snapshot())
+						if err != nil {
+							t.Fatal(err)
+						}
+						if string(snap) != string(refSnap) {
+							t.Fatalf("lane %d metrics snapshot diverges:\n got %s\nwant %s", lane, snap, refSnap)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBatchClusterReset pins gang reuse: a cluster reset between gangs is
+// observationally identical to a freshly built one, including shrinking to
+// a ragged width and growing back.
+func TestBatchClusterReset(t *testing.T) {
+	sc := batchScenarios()[0]
+	reused, err := NewBatchDiagCluster(sc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gang, width := range []int{reused.MaxLanes(), 3, reused.MaxLanes(), 1} {
+		fresh, err := NewBatchDiagCluster(sc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bc := range []*BatchDiagCluster{reused, fresh} {
+			if err := bc.ResetBatch(width); err != nil {
+				t.Fatal(err)
+			}
+			for lane := 0; lane < width; lane++ {
+				lane := lane
+				h := sc.attach(gang*7+lane, bc.Schedule(), func(d tdma.Disturbance) { bc.AddLaneDisturbance(lane, d) })
+				bc.SetLaneHorizon(lane, h)
+			}
+			if err := bc.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for lane := 0; lane < width; lane++ {
+			if !reflect.DeepEqual(reused.LaneCollector(lane), fresh.LaneCollector(lane)) {
+				t.Fatalf("gang %d lane %d: reused cluster collector diverges from fresh", gang, lane)
+			}
+			if !reflect.DeepEqual(reused.truth[lane], fresh.truth[lane]) {
+				t.Fatalf("gang %d lane %d: reused cluster truth diverges from fresh", gang, lane)
+			}
+		}
+	}
+}
+
+// TestBatchClusterRejects pins the constructor's validation surface.
+func TestBatchClusterRejects(t *testing.T) {
+	if _, err := NewBatchDiagCluster(ClusterConfig{N: 65}); err == nil {
+		t.Fatal("N=65 accepted")
+	}
+	bc, err := NewBatchDiagCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.MaxLanes() != 16 {
+		t.Fatalf("MaxLanes = %d, want 16 for N=4", bc.MaxLanes())
+	}
+	if err := bc.ResetBatch(0); err == nil {
+		t.Fatal("0-lane gang accepted")
+	}
+	if err := bc.ResetBatch(17); err == nil {
+		t.Fatal("17-lane gang accepted")
+	}
+}

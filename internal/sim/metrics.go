@@ -48,14 +48,15 @@ func NewRunMetrics(reg *metrics.Registry) *RunMetrics {
 	}
 }
 
-// ObserveTruth folds the engine's ground-truth transmission classification
-// of every executed round into the outcome counters.
-func (m *RunMetrics) ObserveTruth(eng *Engine) {
+// ObserveTruth folds the run's ground-truth transmission classification
+// of every executed round into the outcome counters. It accepts any
+// TruthSource — the lock-step engine or one lane of a batched cluster.
+func (m *RunMetrics) ObserveTruth(src TruthSource) {
 	if m == nil {
 		return
 	}
-	for round := 0; round < eng.Round(); round++ {
-		truth := eng.Truth(round)
+	for round := 0; round < src.Round(); round++ {
+		truth := src.Truth(round)
 		for slot := 1; slot < len(truth); slot++ {
 			switch truth[slot] {
 			case tdma.OutcomeCorrect:
@@ -77,18 +78,20 @@ func (m *RunMetrics) ObserveTruth(eng *Engine) {
 // isolated without any ground-truth fault on record (a false conviction —
 // the audits would flag it) is observed with latency 0 so it still shows up
 // in the histogram count.
-func (m *RunMetrics) ObserveIsolationLatency(eng *Engine, col *Collector) {
-	if m == nil || col == nil {
+func (m *RunMetrics) ObserveIsolationLatency(src TruthSource, col *Collector) {
+	if m == nil || col == nil || src.Round() == 0 {
 		return
 	}
-	n := eng.Schedule().N()
+	// Every truth row spans slots 1..N, so the system width falls out of the
+	// first executed round without needing the schedule.
+	n := len(src.Truth(0)) - 1
 	for id := 1; id <= n; id++ {
 		iso := col.FirstIsolation(id)
 		if iso < 0 {
 			continue
 		}
 		latency := 0
-		if fault := firstFaultRound(eng, id); fault >= 0 && fault <= iso {
+		if fault := firstFaultRound(src, id); fault >= 0 && fault <= iso {
 			latency = iso - fault
 		}
 		m.IsolationLatency.Observe(int64(latency))
@@ -97,9 +100,9 @@ func (m *RunMetrics) ObserveIsolationLatency(eng *Engine, col *Collector) {
 
 // firstFaultRound returns the first executed round in which node id's
 // transmission was classified non-correct by the ground truth, -1 if none.
-func firstFaultRound(eng *Engine, id int) int {
-	for round := 0; round < eng.Round(); round++ {
-		truth := eng.Truth(round)
+func firstFaultRound(src TruthSource, id int) int {
+	for round := 0; round < src.Round(); round++ {
+		truth := src.Truth(round)
 		if id < len(truth) {
 			if c := truth[id]; c != 0 && c != tdma.OutcomeCorrect {
 				return round

@@ -44,7 +44,7 @@ fold_json < "$raw" > BENCH_campaign.json
 echo "wrote BENCH_campaign.json"
 
 go test -run '^$' \
-    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow' \
+    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow|BenchmarkStepBatch' \
     -benchmem -count="$COUNT" ./internal/core/ | tee "$raw"
 fold_json < "$raw" > BENCH_core.json
 echo "wrote BENCH_core.json"

@@ -50,10 +50,14 @@ step "go test -race -cpu=1,4 (cluster reuse equivalence)" \
     go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
 step "go test -race -cpu=1,4 (packed/scalar step equivalence)" \
     go test -race -cpu=1,4 ./internal/core/ -run TestPackedScalarStepEquivalence
+step "go test -race -cpu=1,4 (batched campaign determinism)" \
+    go test -race -cpu=1,4 ./internal/experiments/ -run 'TestBatchedWorkerCountInvariance|TestBatchedCampaignEquivalence'
 step "go test (allocation ceilings)" \
     go test ./internal/core/ ./internal/sim/ -run 'Allocs'
 step "go test -fuzz (packed voting kernel, seed corpus + short fuzz)" \
-    go test ./internal/core/ -run FuzzVoteAll -fuzz FuzzVoteAll -fuzztime 30s
+    go test ./internal/core/ -run FuzzVoteAll -fuzz 'FuzzVoteAll$' -fuzztime 15s
+step "go test -fuzz (lane-packed voting kernel, seed corpus + short fuzz)" \
+    go test ./internal/core/ -run FuzzVoteAllBatch -fuzz 'FuzzVoteAllBatch$' -fuzztime 15s
 step "go test -tags ttdiag_invariants" \
     go test -tags ttdiag_invariants ./internal/core/... ./internal/invariant/... ./internal/cluster/... ./internal/sim/...
 step "ttdiag-lint (+ escape gate)" \
