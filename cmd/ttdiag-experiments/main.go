@@ -5,8 +5,9 @@
 // Usage:
 //
 //	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s] [-workers n]
-//	                   [-batched] [-metrics f] [-trace f] [-progress]
-//	                   [-progress-addr a] [-cpuprofile f] [-memprofile f]
+//	                   [-batched] [-fleet n] [-shards n] [-metrics f]
+//	                   [-trace f] [-progress] [-progress-addr a]
+//	                   [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -38,6 +39,8 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 2007, "master seed for randomised campaigns")
 		workers    = fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS, 1 = serial); output is identical at any value")
 		batched    = fs.Bool("batched", false, "lane-packed batched execution for the campaigns that support it (identical output, ~5.8x faster; ignored with -trace)")
+		fleetN     = fs.Int("fleet", 0, "pin fleet-resilience to this fleet-wide node count (0 = default sweep)")
+		shards     = fs.Int("shards", 0, "pin fleet-resilience to this shard count (0 = default sweep)")
 		out        = fs.String("out", "", "also write the rendered artifacts to this file")
 		metricsOut = fs.String("metrics", "", "write a versioned machine-readable metrics report (JSON) to this file")
 		traceOut   = fs.String("trace", "", "stream simulation trace events (JSONL) to this file; forces -workers=1 so the event order is deterministic")
@@ -86,7 +89,10 @@ func run(args []string) error {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	p := experiments.Params{Seed: *seed, Runs: *runs, Workers: *workers, Out: w, Batched: *batched}
+	p := experiments.Params{
+		Seed: *seed, Runs: *runs, Workers: *workers, Out: w, Batched: *batched,
+		FleetNodes: *fleetN, FleetShards: *shards,
+	}
 
 	var rep *metrics.Report
 	if *metricsOut != "" {

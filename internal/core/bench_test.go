@@ -11,13 +11,23 @@ import (
 // benchSizes are the system widths tracked in BENCH_core.json.
 var benchSizes = []int{4, 16, 32, 64}
 
+// benchScalarSizes additionally covers widths past the packed bound, where
+// the scalar representation is the only one available — the monolithic
+// baseline the hierarchical fleet layer (internal/fleet) is measured
+// against.
+var benchScalarSizes = []int{4, 16, 32, 64, 128}
+
 // benchMatrices builds a packed matrix and a scalar-representation twin with
 // identical pseudo-random content (ε rows, erased entries, mixed opinions).
+// Past the packed bound only the scalar twin exists (packed is nil).
 func benchMatrices(b *testing.B, n int) (packed, scalar *Matrix) {
 	b.Helper()
-	packed, err := NewPackedMatrix(n)
-	if err != nil {
-		b.Fatal(err)
+	if n <= MaxPackedN {
+		var err error
+		packed, err = NewPackedMatrix(n)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	scalar = newScalarMatrix(n)
 	st := rng.NewStream(int64(77 + n))
@@ -33,8 +43,10 @@ func benchMatrices(b *testing.B, n int) (packed, scalar *Matrix) {
 				}
 			}
 		}
-		if err := packed.SetRow(j, row); err != nil {
-			b.Fatal(err)
+		if packed != nil {
+			if err := packed.SetRow(j, row); err != nil {
+				b.Fatal(err)
+			}
 		}
 		if err := scalar.SetRow(j, row); err != nil {
 			b.Fatal(err)
@@ -65,7 +77,7 @@ func BenchmarkVoteAll(b *testing.B) {
 // measured against: the scalar per-column H-maj loop over the same matrix
 // content (O(N^2) byte operations).
 func BenchmarkVoteAllScalar(b *testing.B) {
-	for _, n := range benchSizes {
+	for _, n := range benchScalarSizes {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			_, m := benchMatrices(b, n)
 			b.ReportAllocs()
@@ -164,6 +176,46 @@ func BenchmarkStepBatch(b *testing.B) {
 				if _, err := p.StepBatch(BatchRoundInput{Round: 16 + i, Rows: rows, Present: allB, Validity: validity}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalarStep measures one full protocol execution on the scalar
+// fallback path (forced even within the packed bound, so n64 is directly
+// comparable to the packed BenchmarkProtocolStep): the per-node cost of a
+// flat monolithic deployment. n128 is past the packed bound — the regime
+// the hierarchical fleet layer (internal/fleet) shards away. Tracked in
+// BENCH_core.json.
+func BenchmarkScalarStep(b *testing.B) {
+	for _, n := range []int{64, 128} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			p, err := newProtocol(Config{
+				N: n, ID: 1, L: 0, SendCurrRound: true,
+				PR: PRConfig{PenaltyThreshold: 1 << 50, RewardThreshold: 1 << 50},
+			}, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dms := make([]Syndrome, n+1)
+			for j := 1; j <= n; j++ {
+				dms[j] = NewSyndrome(n, Healthy)
+			}
+			validity := NewSyndrome(n, Healthy)
+			collision := func(int) Opinion { return Healthy }
+			step := func(round int) {
+				in := RoundInput{Round: round, DMs: dms, Validity: validity, Collision: collision}
+				if _, err := p.Step(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 16; i++ {
+				step(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step(16 + i)
 			}
 		})
 	}

@@ -121,3 +121,18 @@ func TestBatchedTraceFallsBackToPerRun(t *testing.T) {
 		t.Fatalf("got %d run-boundary notes, want 3", len(notes))
 	}
 }
+
+// TestScaleResilienceBatchedEquivalence pins the wide scale-resilience rows
+// (N = 32 and N = 64, see scale_wide.go): the rendered sweep is
+// byte-identical whether the a = 0 wide cases run per-run or through their
+// lane-packed batched twin (N = 32 gangs two repetitions per word; N = 64
+// has a single lane and stays per-run on both sides).
+func TestScaleResilienceBatchedEquivalence(t *testing.T) {
+	for _, runs := range []int{3, 5} {
+		perRun, _ := runCampaign(t, "scale-resilience", Params{Seed: 7, Runs: runs, Workers: 1})
+		batched, _ := runCampaign(t, "scale-resilience", Params{Seed: 7, Runs: runs, Workers: 1, Batched: true})
+		if perRun != batched {
+			t.Fatalf("runs=%d: rendered output differs:\n--- per-run ---\n%s\n--- batched ---\n%s", runs, perRun, batched)
+		}
+	}
+}

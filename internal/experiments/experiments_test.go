@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-reintegration",
 		"fdir-loop",
 		"fig1", "fig2", "fig3",
+		"fleet-resilience",
 		"healthy-isolation",
 		"overhead",
 		"port-platforms",

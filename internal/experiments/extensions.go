@@ -118,6 +118,29 @@ func runScaleResilience(p Params) error {
 				"yes", strconv.Itoa(p.Runs), strconv.Itoa(violations))
 		}
 	}
+	// Past the original N <= 16 cap: the same fault-mix cases at N = 32 and
+	// N = 64 — every node still on the packed fast path — with one fixed
+	// schedule per case so the lane-packed batched twin stays draw-identical
+	// (see scale_wide.go).
+	for _, n := range []int{32, 64} {
+		sMax := (n - 2) / 2
+		bMax := n - 2
+		cases := [][3]int{
+			{0, sMax, 0},
+			{0, 0, bMax},
+			{1, 0, n - 4},
+			{1, (n - 4) / 2, 0},
+		}
+		for _, c := range cases {
+			a, s, b := c[0], c[1], c[2]
+			violations, err := resilienceRunsWide(n, a, s, b, p, src)
+			if err != nil {
+				return err
+			}
+			t.row(strconv.Itoa(n), strconv.Itoa(a), strconv.Itoa(s), strconv.Itoa(b),
+				"yes", strconv.Itoa(p.Runs), strconv.Itoa(violations))
+		}
+	}
 	// Bound violation: N=4 with two malicious syndrome sources
 	// (4 > 2*2+1 is false) — correct nodes get convicted.
 	violations, err := resilienceRuns(4, 0, 2, 0, p.Runs, p.Workers, src)
@@ -205,13 +228,7 @@ func resilienceRuns(n, a, s, b, runs, workers int, src *rng.Source) (int, error)
 	if err != nil {
 		return 0, err
 	}
-	violations := 0
-	for _, f := range failed {
-		if f {
-			violations++
-		}
-	}
-	return violations, nil
+	return countTrue(failed), nil
 }
 
 // voteRule recomputes a verdict for target j from a diagnostic matrix under

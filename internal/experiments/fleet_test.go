@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFleetCampaignWorkerCountInvariance is the experiment-level fleet
+// determinism gate, run under -race -cpu=1,4 by scripts/check.sh and CI:
+// the fleet-resilience artifact and its metrics report must be
+// byte-identical whether the shards run serially or on four workers.
+func TestFleetCampaignWorkerCountInvariance(t *testing.T) {
+	base := Params{Seed: 7, Runs: 2, FleetNodes: 64, FleetShards: 8}
+	p1, p4 := base, base
+	p1.Workers = 1
+	p4.Workers = 4
+	serialOut, serialSnap := runCampaign(t, "fleet-resilience", p1)
+	parallelOut, parallelSnap := runCampaign(t, "fleet-resilience", p4)
+	if serialOut != parallelOut {
+		t.Fatalf("rendered output differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- 4 workers ---\n%s", serialOut, parallelOut)
+	}
+	if !reflect.DeepEqual(serialSnap, parallelSnap) {
+		t.Fatal("metrics report differs between workers=1 and workers=4")
+	}
+	// The fleet instruments must actually be present in the report.
+	for _, name := range []string{"fleet/runs", "fleet/gateway/rounds", "fleet/gateway/isolations"} {
+		if serialSnap.Counters[name] == 0 {
+			t.Errorf("counter %s missing or zero in the fleet metrics report: %v", name, serialSnap.Counters)
+		}
+	}
+	if _, ok := serialSnap.Histograms["fleet/outage_isolation_latency_rounds"]; !ok {
+		t.Error("outage-isolation latency histogram missing from the fleet metrics report")
+	}
+}
+
+// TestFleetCampaignPinnedGeometry checks the -fleet/-shards single-geometry
+// override renders exactly one sweep row.
+func TestFleetCampaignPinnedGeometry(t *testing.T) {
+	out, _ := runCampaign(t, "fleet-resilience", Params{Seed: 7, Runs: 1, Workers: 1, FleetNodes: 128, FleetShards: 4})
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "128") {
+			rows++
+		}
+	}
+	if rows != 1 {
+		t.Fatalf("pinned geometry rendered %d rows, want 1:\n%s", rows, out)
+	}
+	if strings.Count(out, "\n----") > 1 || strings.Contains(out, "\n256") {
+		t.Fatalf("pinned geometry still rendered the sweep:\n%s", out)
+	}
+}

@@ -42,6 +42,11 @@ type Params struct {
 	// (campaign.Options.OnRunDone): wall-clock-side progress reporting that
 	// never feeds the rendered artifact or the metrics report.
 	Progress func(run int)
+	// FleetNodes and FleetShards pin the fleet-resilience experiment to a
+	// single geometry instead of its default sweep. 0/0 keeps the sweep; a
+	// single set field defaults the other to 1024 nodes / 16 shards.
+	FleetNodes  int
+	FleetShards int
 	// Batched selects the lane-packed batched execution path for the
 	// campaigns that support it (sec8-bursts, sec8-pr, sec8-malicious):
 	// gangs of ⌊64/N⌋ repetitions advance together through one

@@ -1,0 +1,211 @@
+// Determinism contracts of the fleet layer: results and merged metrics are
+// byte-identical at any worker count and any shard dispatch order, and the
+// degenerate single-shard fleet reproduces a directly driven monolithic
+// cluster exactly.
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/fault"
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/rng"
+	"ttdiag/internal/sim"
+)
+
+// invarianceConfig is the shared geometry of the invariance tests: six
+// shards so permutations and worker imbalance have room to bite.
+func invarianceConfig(workers int, ws *metrics.WorkerSet) Config {
+	return Config{
+		Nodes: 48, Shards: 6, Workers: workers,
+		GatewayPR: core.PRConfig{PenaltyThreshold: 3, RewardThreshold: 8},
+		Metrics:   ws,
+	}
+}
+
+// invarianceHooks is a full scenario: a burst inside shard 0, a whole-shard
+// outage of shard 3 and a transient frame loss at shard 1's gateway.
+func invarianceHooks(run int) Hooks {
+	hooks := burstHooks(fmt.Sprintf("invariance/run-%d", run), 0)
+	hooks.GatewayDrop = func(round, g int) bool {
+		if g == 4 && round >= 9 {
+			return true
+		}
+		return g == 2 && round >= 5 && round < 7
+	}
+	return hooks
+}
+
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	ws1, ws4 := metrics.NewWorkerSet(), metrics.NewWorkerSet()
+	c1, err := New(invarianceConfig(1, ws1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := New(invarianceConfig(4, ws4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src1, src4 := rng.NewSource(23), rng.NewSource(23)
+	for run := 0; run < 2; run++ {
+		hooks := invarianceHooks(run)
+		r1, err := c1.Run(src1, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := c4.Run(src4, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r1, r4) {
+			t.Fatalf("run %d: results differ between 1 and 4 workers:\n1: %+v\n4: %+v", run, r1, r4)
+		}
+	}
+	s1, err := ws1.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := ws4.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s4) {
+		t.Fatalf("merged metrics differ between 1 and 4 workers:\n1: %+v\n4: %+v", s1, s4)
+	}
+}
+
+func TestFleetShardOrderInvariance(t *testing.T) {
+	wsA, wsB := metrics.NewWorkerSet(), metrics.NewWorkerSet()
+	cA, err := New(invarianceConfig(2, wsA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := New(invarianceConfig(2, wsB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cB.setOrder([]int{5, 4, 3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	srcA, srcB := rng.NewSource(23), rng.NewSource(23)
+	for run := 0; run < 2; run++ {
+		hooks := invarianceHooks(run)
+		rA, err := cA.Run(srcA, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rB, err := cB.Run(srcB, hooks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rA, rB) {
+			t.Fatalf("run %d: results differ under reversed shard order:\nidentity: %+v\nreversed: %+v", run, rA, rB)
+		}
+	}
+	sA, err := wsA.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := wsB.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sA, sB) {
+		t.Fatalf("merged metrics differ under reversed shard order:\nidentity: %+v\nreversed: %+v", sA, sB)
+	}
+	if err := cB.setOrder([]int{0, 0, 1, 2, 3, 4}); err == nil {
+		t.Error("setOrder accepted a non-permutation")
+	}
+	if err := cB.setOrder([]int{0, 1}); err == nil {
+		t.Error("setOrder accepted a short permutation")
+	}
+}
+
+// TestFleetMonolithicEquivalence pins the degenerate geometry against the
+// executable reference: a 1-shard fleet at N <= MaxPackedN must produce
+// exactly the health vectors, isolations and activity state of a directly
+// driven sim.DiagCluster fed the same streams.
+func TestFleetMonolithicEquivalence(t *testing.T) {
+	const n = 16
+	c, err := New(Config{
+		Nodes: n, Shards: 1,
+		ShardPR: core.PRConfig{PenaltyThreshold: 2, RewardThreshold: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := c.Config().Rounds
+
+	var fleetCl *sim.DiagCluster
+	var fleetCol *sim.Collector
+	hooks := Hooks{Prepare: func(sr ShardRun) (func() string, error) {
+		fleetCl, fleetCol = sr.Cluster, sr.Collector
+		stream := sr.Pool.Stream("equiv/run-0/shard-0")
+		inject := 6 + stream.Intn(3)
+		node := 2 + stream.Intn(sr.Size-1)
+		eng := sr.Cluster.Eng
+		var bursts []fault.Burst
+		for r := inject; r < inject+6; r += 2 {
+			bursts = append(bursts, fault.SlotBurst(eng.Schedule(), r, node, 1))
+		}
+		eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
+		return nil, nil
+	}}
+	res, err := c.Run(rng.NewSource(7), hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same cluster geometry driven directly, drawing from
+	// identically named streams of an identically seeded source.
+	ref, err := sim.NewReusableDiagnosticCluster(sim.ClusterConfig{
+		N:        n,
+		RoundLen: c.Config().shardRoundLen(n),
+		PR:       core.PRConfig{PenaltyThreshold: 2, RewardThreshold: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Reset()
+	refCol := sim.NewCollector()
+	for id := 1; id <= n; id++ {
+		refCol.HookDiag(id, ref.Runners[id])
+	}
+	pool := rng.NewSource(7).NewPool()
+	pool.Recycle()
+	stream := pool.Stream("equiv/run-0/shard-0")
+	inject := 6 + stream.Intn(3)
+	node := 2 + stream.Intn(n-1)
+	var bursts []fault.Burst
+	for r := inject; r < inject+6; r += 2 {
+		bursts = append(bursts, fault.SlotBurst(ref.Eng.Schedule(), r, node, 1))
+	}
+	ref.Eng.Bus().AddDisturbance(fault.NewTrain(bursts...))
+	if err := ref.Eng.RunRounds(rounds); err != nil {
+		t.Fatal(err)
+	}
+
+	for d := 0; d < rounds; d++ {
+		got, want := fleetCol.RoundHVs(d), refCol.RoundHVs(d)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("diagnosed round %d: fleet HVs %v, monolithic HVs %v", d, got, want)
+		}
+	}
+	if !reflect.DeepEqual(fleetCol.Isolations, refCol.Isolations) {
+		t.Fatalf("isolations diverge: fleet %+v, monolithic %+v", fleetCol.Isolations, refCol.Isolations)
+	}
+	for id := 1; id <= n; id++ {
+		g := fleetCl.Runners[id].Protocol().PenaltyReward().ActiveMask()
+		w := ref.Runners[id].Protocol().PenaltyReward().ActiveMask()
+		if g != w {
+			t.Errorf("node %d: fleet active mask %064b, monolithic %064b", id, g, w)
+		}
+	}
+	// The published summary must agree with the reference's end state.
+	if got := res.Shards[0].Final; got.Size != n {
+		t.Errorf("final summary %+v, want size %d", got, n)
+	}
+}

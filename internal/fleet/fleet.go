@@ -1,0 +1,388 @@
+package fleet
+
+import (
+	"fmt"
+
+	"ttdiag/internal/campaign"
+	"ttdiag/internal/core"
+	"ttdiag/internal/metrics"
+	"ttdiag/internal/rng"
+	"ttdiag/internal/sim"
+)
+
+// defaultShardRoundLen is the paper's prototype TDMA round (2.5 ms at N = 4);
+// Config.shardRoundLen scales it with the shard size to keep slots constant.
+const defaultShardRoundLen = sim.DefaultRoundLen
+
+// ShardRun is the view a Hooks callback gets of one shard's repetition: the
+// reusable cluster (already reset), its collector (already hooked on every
+// node), the recycled per-worker stream pool, and the shard's place in the
+// fleet. Everything is borrowed for the duration of the callback chain — the
+// cluster is reused by other shards of the same size once the run completes.
+type ShardRun struct {
+	// Shard is the 0-based shard index.
+	Shard int
+	// Size is the shard's node count.
+	Size int
+	// First is the 0-based global index of the shard's first node (shard s
+	// covers global nodes First..First+Size-1).
+	First int
+	// Cluster is the shard's reusable diagnostic cluster.
+	Cluster *sim.DiagCluster
+	// Collector records every node's outputs for auditing.
+	Collector *sim.Collector
+	// Pool derives named rng streams; name them by shard (and run) so draws
+	// are identical at any worker count and shard order.
+	Pool *rng.Pool
+}
+
+// Hooks parameterises one fleet repetition. All fields are optional.
+type Hooks struct {
+	// Prepare runs before a shard's rounds execute: inject disturbances,
+	// wire extra observers. The returned audit closure (may be nil) runs
+	// after the shard's rounds complete and reports a verdict ("" = pass).
+	Prepare func(sr ShardRun) (audit func() string, err error)
+	// GatewayDrop reports whether gateway g's frame (1-based) is lost on the
+	// inter-cluster bus in the given gateway round — the benign gateway
+	// fault and whole-shard outage model.
+	GatewayDrop func(round, gateway int) bool
+}
+
+// ShardResult is one shard's outcome of a repetition.
+type ShardResult struct {
+	// Size and First mirror the ShardRun geometry.
+	Size, First int
+	// Verdict is the Prepare audit's report ("" = pass or not audited).
+	Verdict string
+	// Summaries[r] is the cluster-health summary the shard's gateway
+	// published in round r.
+	Summaries []core.ShardSummary
+	// Final is the last round's summary.
+	Final core.ShardSummary
+}
+
+// GatewayResult is the fleet-level outcome of a repetition (nil when the
+// campaign runs a single shard — the gateway level needs at least two).
+type GatewayResult struct {
+	// HVs[d][g] is the packed consistent health vector gateway g (1-based)
+	// agreed for diagnosed gateway round d; the zero value (Known == 0)
+	// where g diagnosed nothing.
+	HVs [][]core.BitSyndrome
+	// IsolationRound[t] is the first gateway round in which any gateway
+	// isolated shard t's gateway (1-based), or -1.
+	IsolationRound []int
+	// FinalActive[g] is gateway g's activity mask after the last round.
+	FinalActive []uint64
+	// Received[g] is the last ShardSummary decoded from gateway g's frame.
+	Received []core.ShardSummary
+	// Drops counts the gateway frames lost to GatewayDrop.
+	Drops int
+}
+
+// Result is one fleet repetition's outcome, index-addressed by shard.
+type Result struct {
+	Shards  []ShardResult
+	Gateway *GatewayResult
+}
+
+// Campaign is a reusable hierarchical fleet: per-worker shard clusters, the
+// serial gateway net, and the per-shard metrics registries, built once and
+// driven once per repetition by Run.
+type Campaign struct {
+	cfg   Config
+	sizes []int
+	first []int
+	gw    *GatewayNet
+
+	// order is the shard dispatch permutation (test seam: determinism tests
+	// run shards in reverse order and assert identical results); nil is
+	// identity.
+	order []int
+
+	// Per-shard registries plus one gateway registry, acquired serially at
+	// construction so the WorkerSet merge is invariant to worker count and
+	// shard order. Entry i belongs to shard i alone; only the worker
+	// currently executing shard i writes it.
+	shardSM  []*core.StepMetrics
+	shardSys []*sim.RunMetrics
+	gwReg    *metrics.Registry
+	gwRounds *metrics.Counter
+	gwDrops  *metrics.Counter
+	gwIsol   *metrics.Counter
+	runsCt   *metrics.Counter
+
+	// summaries[i][r] is shard i's round-r summary scratch, reused across
+	// repetitions (each shard writes only its own row during the parallel
+	// phase).
+	summaries [][]core.ShardSummary
+	// roundSums is the per-round transmit scratch of the gateway phase.
+	roundSums []core.ShardSummary
+}
+
+// New builds a fleet campaign.
+func New(cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sizes, err := Partition(cfg.Nodes, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		cfg:       cfg,
+		sizes:     sizes,
+		first:     make([]int, cfg.Shards),
+		summaries: make([][]core.ShardSummary, cfg.Shards),
+		roundSums: make([]core.ShardSummary, cfg.Shards),
+		shardSM:   make([]*core.StepMetrics, cfg.Shards),
+		shardSys:  make([]*sim.RunMetrics, cfg.Shards),
+	}
+	at := 0
+	for i, size := range sizes {
+		c.first[i] = at
+		at += size
+		c.summaries[i] = make([]core.ShardSummary, cfg.Rounds)
+		if reg := cfg.Metrics.Worker(); reg != nil {
+			c.shardSM[i] = core.NewStepMetrics(reg)
+			c.shardSys[i] = sim.NewRunMetrics(reg)
+		}
+	}
+	c.gwReg = cfg.Metrics.Worker()
+	c.gwRounds = c.gwReg.Counter("fleet/gateway/rounds")
+	c.gwDrops = c.gwReg.Counter("fleet/gateway/frames_dropped")
+	c.gwIsol = c.gwReg.Counter("fleet/gateway/isolations")
+	c.runsCt = c.gwReg.Counter("fleet/runs")
+	c.gwReg.Gauge("fleet/nodes").Observe(int64(cfg.Nodes))
+	c.gwReg.Gauge("fleet/shards").Observe(int64(cfg.Shards))
+	if cfg.Shards >= 2 {
+		gw, err := NewGatewayNet(cfg.Shards, cfg.GatewayPR)
+		if err != nil {
+			return nil, err
+		}
+		c.gw = gw
+	}
+	return c, nil
+}
+
+// Config returns the campaign's (defaulted) configuration.
+func (c *Campaign) Config() Config { return c.cfg }
+
+// Sizes returns the shard sizes (do not mutate).
+func (c *Campaign) Sizes() []int { return c.sizes }
+
+// GatewayRegistry exposes the fleet-level metrics registry (nil when
+// metrics are off) for experiment-level instruments such as outage-isolation
+// latency histograms.
+func (c *Campaign) GatewayRegistry() *metrics.Registry { return c.gwReg }
+
+// shardWorker is one pool worker's reusable state: a stream pool plus one
+// cached cluster per shard size it has executed (an even partition has at
+// most two distinct sizes).
+type shardWorker struct {
+	c     *Campaign
+	pool  *rng.Pool
+	slots map[int]*shardSlot
+}
+
+type shardSlot struct {
+	cl  *sim.DiagCluster
+	col *sim.Collector
+}
+
+func (w *shardWorker) slot(size int) (*shardSlot, error) {
+	if s, ok := w.slots[size]; ok {
+		return s, nil
+	}
+	cl, err := sim.NewReusableDiagnosticCluster(sim.ClusterConfig{
+		N:        size,
+		RoundLen: w.c.cfg.shardRoundLen(size),
+		PR:       w.c.cfg.ShardPR,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &shardSlot{cl: cl, col: sim.NewCollector()}
+	w.slots[size] = s
+	return s, nil
+}
+
+// runShard executes one shard's repetition: reset, hook, prepare, run,
+// observe, audit. It writes the shard's summary timeline into the campaign's
+// index-addressed scratch — safe concurrently because every shard owns its
+// row.
+func (w *shardWorker) runShard(shard int, hooks Hooks) (ShardResult, error) {
+	c := w.c
+	size := c.sizes[shard]
+	slot, err := w.slot(size)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	w.pool.Recycle()
+	slot.cl.Reset()
+	eng, runners := slot.cl.Eng, slot.cl.Runners
+	if sm := c.shardSM[shard]; sm != nil {
+		for id := 1; id <= size; id++ {
+			runners[id].Protocol().SetMetrics(sm)
+		}
+	}
+	slot.col.Reset()
+	for id := 1; id <= size; id++ {
+		slot.col.HookDiag(id, runners[id])
+	}
+	// The gateway (node 1) publishes a fresh ShardSummary every round,
+	// captured by chaining onto its collector hook: how many nodes the
+	// shard's penalty/reward state has isolated and how many entries of the
+	// latest consistent health vector are faulty.
+	sums := c.summaries[shard]
+	all := core.PlaneMask(size)
+	collect := runners[1].OnOutput
+	runners[1].OnOutput = func(out core.RoundOutput) {
+		collect(out)
+		if out.Round < 0 || out.Round >= len(sums) {
+			return
+		}
+		s := core.ShardSummary{Size: size, Isolated: size - droppedCount(out.ActiveMask&all)}
+		if out.ConsHV != nil {
+			s.Faulty = out.ConsHVBits.CountFaulty(size)
+		}
+		sums[out.Round] = s
+	}
+	res := ShardResult{Size: size, First: c.first[shard]}
+	var audit func() string
+	if hooks.Prepare != nil {
+		audit, err = hooks.Prepare(ShardRun{
+			Shard: shard, Size: size, First: c.first[shard],
+			Cluster: slot.cl, Collector: slot.col, Pool: w.pool,
+		})
+		if err != nil {
+			return ShardResult{}, err
+		}
+	}
+	if err := eng.RunRounds(c.cfg.Rounds); err != nil {
+		return ShardResult{}, err
+	}
+	if sys := c.shardSys[shard]; sys != nil {
+		sys.ObserveTruth(eng)
+		sys.ObserveIsolationLatency(eng, slot.col)
+	}
+	if audit != nil {
+		res.Verdict = audit()
+	}
+	res.Summaries = sums
+	res.Final = sums[c.cfg.Rounds-1]
+	return res, nil
+}
+
+// Run executes one fleet repetition: all shards in parallel on the campaign
+// pool, then the gateway round schedule serially over the recorded summary
+// timelines. The two-phase split is exactly equivalent to interleaving
+// because the protocol is an add-on: fleet-level diagnosis never feeds back
+// into intra-shard traffic.
+//
+// src seeds the per-worker stream pools; hooks inject the repetition's fault
+// scenario. The returned Result aliases campaign-owned summary scratch that
+// the next Run overwrites — copy what must outlive it.
+func (c *Campaign) Run(src *rng.Source, hooks Hooks) (*Result, error) {
+	c.runsCt.Add(1)
+	order := c.order
+	shardOf := func(job int) int {
+		if order == nil {
+			return job
+		}
+		return order[job]
+	}
+	outs, err := campaign.RunPooledWith(campaign.Options{Workers: c.cfg.Workers}, c.cfg.Shards,
+		func() (*shardWorker, error) {
+			return &shardWorker{c: c, pool: src.NewPool(), slots: make(map[int]*shardSlot)}, nil
+		},
+		func(w *shardWorker, job int) (ShardResult, error) {
+			return w.runShard(shardOf(job), hooks)
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Shards: make([]ShardResult, c.cfg.Shards)}
+	for job, sr := range outs {
+		res.Shards[shardOf(job)] = sr
+	}
+	if c.gw == nil {
+		return res, nil
+	}
+
+	// Gateway phase: one fleet-level TDMA round per intra-shard round, each
+	// transmitting the summaries the shards published in that round.
+	c.gw.Reset()
+	s := c.cfg.Shards
+	gr := &GatewayResult{
+		HVs:            make([][]core.BitSyndrome, c.cfg.Rounds),
+		IsolationRound: make([]int, s+1),
+		FinalActive:    make([]uint64, s+1),
+		Received:       make([]core.ShardSummary, s+1),
+	}
+	for t := range gr.IsolationRound {
+		gr.IsolationRound[t] = -1
+	}
+	for k := 0; k < c.cfg.Rounds; k++ {
+		var drop uint64
+		if hooks.GatewayDrop != nil {
+			for g := 1; g <= s; g++ {
+				if hooks.GatewayDrop(k, g) {
+					drop |= 1 << uint(g-1)
+				}
+			}
+		}
+		for i := 0; i < s; i++ {
+			c.roundSums[i] = c.summaries[i][k]
+		}
+		outs, err := c.gw.RunRound(c.roundSums, drop)
+		if err != nil {
+			return nil, err
+		}
+		gr.Drops += droppedCount(drop)
+		c.gwRounds.Add(1)
+		c.gwDrops.Add(int64(droppedCount(drop)))
+		for g := 1; g <= s; g++ {
+			out := outs[g]
+			if out.ConsHV != nil && out.DiagnosedRound >= 0 {
+				if gr.HVs[out.DiagnosedRound] == nil {
+					gr.HVs[out.DiagnosedRound] = make([]core.BitSyndrome, s+1)
+				}
+				gr.HVs[out.DiagnosedRound][g] = out.ConsHVBits
+			}
+			for _, t := range out.Isolated {
+				c.gwIsol.Add(1)
+				if gr.IsolationRound[t] < 0 {
+					gr.IsolationRound[t] = k
+				}
+			}
+		}
+	}
+	for g := 1; g <= s; g++ {
+		gr.FinalActive[g] = c.gw.protos[g].PenaltyReward().ActiveMask()
+		gr.Received[g] = c.gw.Received(g)
+	}
+	res.Gateway = gr
+	return res, nil
+}
+
+// setOrder installs a shard dispatch permutation (test seam). perm must be a
+// permutation of 0..Shards-1; nil restores identity dispatch.
+func (c *Campaign) setOrder(perm []int) error {
+	if perm == nil {
+		c.order = nil
+		return nil
+	}
+	if len(perm) != c.cfg.Shards {
+		return fmt.Errorf("fleet: order has %d entries, want %d", len(perm), c.cfg.Shards)
+	}
+	seen := make([]bool, c.cfg.Shards)
+	for _, p := range perm {
+		if p < 0 || p >= c.cfg.Shards || seen[p] {
+			return fmt.Errorf("fleet: order is not a permutation of 0..%d", c.cfg.Shards-1)
+		}
+		seen[p] = true
+	}
+	c.order = append([]int(nil), perm...)
+	return nil
+}

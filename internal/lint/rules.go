@@ -42,6 +42,7 @@ var deterministicPkgs = []string{
 	"internal/sim",
 	"internal/cluster",
 	"internal/campaign",
+	"internal/fleet",
 	"internal/tdma",
 	"internal/fault",
 	"internal/lowlat",

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # bench.sh runs the campaign engine and protocol hot-path benchmarks and
 # records every sample in BENCH_campaign.json, plus the packed voting-kernel
-# microbenchmarks in BENCH_core.json and the telemetry-layer benchmarks
-# (instrument costs and Step with metrics on/off) in BENCH_metrics.json, so
-# the bench trajectory of the repository can be tracked across commits. Usage:
+# microbenchmarks in BENCH_core.json, the telemetry-layer benchmarks
+# (instrument costs and Step with metrics on/off) in BENCH_metrics.json and
+# the hierarchical fleet campaign (sharded vs scalar monolithic at equal
+# node-rounds) in BENCH_fleet.json, so the bench trajectory of the
+# repository can be tracked across commits. Usage:
 #
 #   scripts/bench.sh                 # 5 samples per benchmark (default)
 #   COUNT=1 scripts/bench.sh         # quick single-sample run
@@ -44,7 +46,7 @@ fold_json < "$raw" > BENCH_campaign.json
 echo "wrote BENCH_campaign.json"
 
 go test -run '^$' \
-    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow|BenchmarkStepBatch' \
+    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow|BenchmarkStepBatch|BenchmarkScalarStep' \
     -benchmem -count="$COUNT" ./internal/core/ | tee "$raw"
 fold_json < "$raw" > BENCH_core.json
 echo "wrote BENCH_core.json"
@@ -55,3 +57,12 @@ go test -run '^$' \
     -benchmem -count="$COUNT" ./internal/core/ ./internal/metrics/ | tee "$raw"
 fold_json < "$raw" > BENCH_metrics.json
 echo "wrote BENCH_metrics.json"
+
+# The scalar monolithic baseline runs seconds per iteration; one iteration
+# per sample keeps the suite tractable while the sharded side still gets a
+# meaningful multi-iteration average from the same -benchtime.
+go test -run '^$' \
+    -bench 'BenchmarkFleetCampaign' -benchtime 2x \
+    -benchmem -count="$COUNT" ./internal/fleet/ | tee "$raw"
+fold_json < "$raw" > BENCH_fleet.json
+echo "wrote BENCH_fleet.json"

@@ -37,12 +37,18 @@ check_metrics_determinism() {
     go test -race -cpu=1,4 ./internal/cluster/ -run TestClusterMetricsMatchLockStep
 }
 
+check_fleet_determinism() {
+    go test -race -cpu=1,4 ./internal/fleet/ \
+        -run 'TestFleetWorkerCountInvariance|TestFleetShardOrderInvariance|TestFleetMonolithicEquivalence'
+    go test -race -cpu=1,4 ./internal/experiments/ -run TestFleetCampaignWorkerCountInvariance
+}
+
 step "gofmt" check_gofmt
 step "go vet" go vet ./...
 step "go build" go build ./...
 step "go test" go test ./...
 step "go test -race (concurrent packages)" \
-    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/...
+    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/... ./internal/fleet/...
 step "go test -race -cpu=1,4 (campaign determinism)" \
     go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
 step "go test -race -cpu=1,4 (metrics determinism)" check_metrics_determinism
@@ -51,9 +57,10 @@ step "go test -race -cpu=1,4 (cluster reuse equivalence)" \
 step "go test -race -cpu=1,4 (packed/scalar step equivalence)" \
     go test -race -cpu=1,4 ./internal/core/ -run TestPackedScalarStepEquivalence
 step "go test -race -cpu=1,4 (batched campaign determinism)" \
-    go test -race -cpu=1,4 ./internal/experiments/ -run 'TestBatchedWorkerCountInvariance|TestBatchedCampaignEquivalence'
+    go test -race -cpu=1,4 ./internal/experiments/ -run 'TestBatchedWorkerCountInvariance|TestBatchedCampaignEquivalence|TestScaleResilienceBatchedEquivalence'
+step "go test -race -cpu=1,4 (fleet determinism)" check_fleet_determinism
 step "go test (allocation ceilings)" \
-    go test ./internal/core/ ./internal/sim/ -run 'Allocs'
+    go test ./internal/core/ ./internal/sim/ ./internal/fleet/ -run 'Allocs'
 step "go test -fuzz (packed voting kernel, seed corpus + short fuzz)" \
     go test ./internal/core/ -run FuzzVoteAll -fuzz 'FuzzVoteAll$' -fuzztime 15s
 step "go test -fuzz (lane-packed voting kernel, seed corpus + short fuzz)" \
