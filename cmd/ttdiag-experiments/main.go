@@ -5,9 +5,9 @@
 // Usage:
 //
 //	ttdiag-experiments [-list] [-run id] [-runs n] [-seed s] [-workers n]
-//	                   [-batched] [-fleet n] [-shards n] [-metrics f]
-//	                   [-trace f] [-progress] [-progress-addr a]
-//	                   [-cpuprofile f] [-memprofile f]
+//	                   [-batched] [-fleet n] [-shards n] [-splitting n]
+//	                   [-levels n] [-metrics f] [-trace f] [-progress]
+//	                   [-progress-addr a] [-cpuprofile f] [-memprofile f]
 package main
 
 import (
@@ -41,6 +41,8 @@ func run(args []string) error {
 		batched    = fs.Bool("batched", false, "lane-packed batched execution for the campaigns that support it (identical output, ~5.8x faster; ignored with -trace)")
 		fleetN     = fs.Int("fleet", 0, "pin fleet-resilience to this fleet-wide node count (0 = default sweep)")
 		shards     = fs.Int("shards", 0, "pin fleet-resilience to this shard count (0 = default sweep)")
+		splitN     = fs.Int("splitting", 0, "rare-event splitting trials per level (0 = default 14000)")
+		levels     = fs.Int("levels", 0, "rare-event splitting level count; penalty threshold is levels-1 (0 = default 8)")
 		out        = fs.String("out", "", "also write the rendered artifacts to this file")
 		metricsOut = fs.String("metrics", "", "write a versioned machine-readable metrics report (JSON) to this file")
 		traceOut   = fs.String("trace", "", "stream simulation trace events (JSONL) to this file; forces -workers=1 so the event order is deterministic")
@@ -92,6 +94,7 @@ func run(args []string) error {
 	p := experiments.Params{
 		Seed: *seed, Runs: *runs, Workers: *workers, Out: w, Batched: *batched,
 		FleetNodes: *fleetN, FleetShards: *shards,
+		SplitEffort: *splitN, SplitLevels: *levels,
 	}
 
 	var rep *metrics.Report

@@ -186,3 +186,66 @@ func TestVoteAllAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestCopyFromAllocs pins the zero-copy checkpoint path at exactly zero
+// steady-state allocations, on both representations and on the gang path —
+// the property that lets splitting clones checkpoint at every level
+// crossing without touching the allocator.
+func TestCopyFromAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant checking boxes Checkf arguments and inflates the allocation count")
+	}
+	cfg := Config{
+		N: 4, ID: 2, L: 0, SendCurrRound: true, Mode: ModeMembership,
+		PR: PRConfig{PenaltyThreshold: 3, RewardThreshold: 4, ReintegrationThreshold: 6},
+	}
+	for _, packed := range []bool{true, false} {
+		t.Run(fmt.Sprintf("packed=%v", packed), func(t *testing.T) {
+			src, err := newProtocol(cfg, packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, err := newProtocol(cfg, packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tape := copyFromTape(13, 4, 16)
+			for _, in := range tape { // park src mid-run, warm state
+				if _, err := src.Step(in); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := dst.CopyFrom(src); err != nil {
+				t.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(200, func() {
+				if err := dst.CopyFrom(src); err != nil {
+					t.Fatal(err)
+				}
+			}); avg > 0 {
+				t.Fatalf("Protocol.CopyFrom allocates %.2f objects/op in steady state, want 0", avg)
+			}
+		})
+	}
+	t.Run("batch", func(t *testing.T) {
+		bcfg := Config{
+			N: 4, ID: 2, L: 2, SendCurrRound: false,
+			PR: PRConfig{PenaltyThreshold: 2, RewardThreshold: 3},
+		}
+		src, err := NewBatchProtocol(bcfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst, err := NewBatchProtocol(bcfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			if err := dst.CopyFrom(src); err != nil {
+				t.Fatal(err)
+			}
+		}); avg > 0 {
+			t.Fatalf("BatchProtocol.CopyFrom allocates %.2f objects/op, want 0", avg)
+		}
+	})
+}

@@ -249,3 +249,57 @@ func BenchmarkMatrixSetRow(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCheckpointRestore compares the two checkpoint paths on a warm
+// mid-run protocol: the JSON Snapshot/RestoreProtocol round-trip (the
+// executable reference) against the zero-copy CopyFrom fast path that
+// splitting clones use at every level crossing.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	mkWarm := func(b *testing.B, n int) *Protocol {
+		b.Helper()
+		p, err := NewProtocol(Config{
+			N: n, ID: 2, L: 0, SendCurrRound: true, Mode: ModeMembership,
+			PR: PRConfig{PenaltyThreshold: 3, RewardThreshold: 4, ReintegrationThreshold: 6},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, in := range copyFromTape(13, n, 16) {
+			if _, err := p.Step(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return p
+	}
+	for _, n := range benchSizes {
+		src := mkWarm(b, n)
+		b.Run(fmt.Sprintf("json/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := src.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := RestoreProtocol(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("copyfrom/n%d", n), func(b *testing.B) {
+			dst, err := NewProtocol(src.Config())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.CopyFrom(src); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dst.CopyFrom(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -79,10 +79,27 @@ func (p *Protocol) Snapshot() ([]byte, error) {
 // RestoreProtocol rebuilds a protocol instance from a Snapshot. The restored
 // instance continues at the next round after the snapshot was taken.
 func RestoreProtocol(data []byte) (*Protocol, error) {
-	var snap protocolSnapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
+	// The round cursor is decoded through a pointer shadow so a checkpoint
+	// that lost its "steps" field is rejected instead of silently resuming
+	// from round zero — which would replay rounds the cluster already
+	// executed and desynchronise the node from its peers. The embedded
+	// struct keeps every other field's decoding (and Snapshot's wire bytes)
+	// unchanged.
+	var wire struct {
+		protocolSnapshot
+		Steps *int `json:"steps"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)
 	}
+	if wire.Steps == nil {
+		return nil, fmt.Errorf("core: restore: checkpoint has no round cursor (missing \"steps\")")
+	}
+	if *wire.Steps < 0 {
+		return nil, fmt.Errorf("core: restore: negative round cursor (steps = %d)", *wire.Steps)
+	}
+	snap := wire.protocolSnapshot
+	snap.Steps = *wire.Steps
 	p, err := NewProtocol(snap.Config)
 	if err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)

@@ -118,11 +118,16 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Syndromes marshal as base64 byte strings: "AgEBAQE=" is [ε,1,1,1,1],
-	// "AgEB" decodes to only three entries.
+	// "AgEB" decodes to only three entries. A checkpoint whose round cursor
+	// is missing or negative must be rejected too — resuming from round zero
+	// would silently replay rounds the cluster already executed.
 	for _, tt := range []struct{ from, to string }{
 		{`"prevLS":"AgEBAQE="`, `"prevLS":"AgEB"`},
 		{`"accuse":[0,0,0,0,0]`, `"accuse":[0]`},
 		{`"penalties":[0,0,0,0,0]`, `"penalties":[0,0]`},
+		{`"steps":0,`, ``},
+		{`"steps":0,`, `"steps":-3,`},
+		{`"steps":0,`, `"steps":null,`},
 	} {
 		corrupted := strings.Replace(string(data), tt.from, tt.to, 1)
 		if corrupted == string(data) {

@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"healthy-isolation",
 		"overhead",
 		"port-platforms",
+		"rare-event",
 		"scale-resilience",
 		"scoreboard",
 		"sec10-lowlat",
@@ -72,6 +73,7 @@ func TestRunAllSmoke(t *testing.T) {
 		"fdir-loop":         {"steer->n3", "steer->n1", "reintegrate"},
 		"scoreboard":        {"17 checks, all pass"},
 		"overhead":          {"O(N) bits", "byte(s)"},
+		"rare-event":        {"multilevel splitting", "wrong-isolation", "second-transient", "naive MC"},
 		"scale-resilience":  {"bound holds", "NO"},
 		"ablate-vote":       {"tie-break to Faulty", "own-row"},
 	}

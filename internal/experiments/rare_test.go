@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// rareTestParams keeps the determinism gate fast: a shallow level stack and
+// a few hundred trials per level still exercise cloning, restoring and the
+// cross-level entry handoff.
+func rareTestParams() Params {
+	return Params{Seed: 7, SplitEffort: 200, SplitLevels: 4}
+}
+
+// TestRareEventCampaignWorkerCountInvariance is the experiment-level
+// splitting determinism gate, run under -race -cpu=1,4 by scripts/check.sh
+// and CI: the rare-event artifact and its metrics report must be
+// byte-identical whether the trials run serially or on four workers.
+func TestRareEventCampaignWorkerCountInvariance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	p1, p4 := rareTestParams(), rareTestParams()
+	p1.Workers = 1
+	p4.Workers = 4
+	serialOut, serialSnap := runCampaign(t, "rare-event", p1)
+	parallelOut, parallelSnap := runCampaign(t, "rare-event", p4)
+	if serialOut != parallelOut {
+		t.Fatalf("rendered output differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- 4 workers ---\n%s", serialOut, parallelOut)
+	}
+	if !reflect.DeepEqual(serialSnap, parallelSnap) {
+		t.Fatal("metrics report differs between workers=1 and workers=4")
+	}
+	// The checkpoint instruments must actually be present in the report.
+	for _, name := range []string{
+		"rare/wrong-isolation/rounds",
+		"rare/wrong-isolation/checkpoint_captures",
+		"rare/wrong-isolation/checkpoint_restores",
+		"rare/second-transient/rounds",
+	} {
+		if serialSnap.Counters[name] == 0 {
+			t.Errorf("counter %s missing or zero in the rare-event metrics report: %v", name, serialSnap.Counters)
+		}
+	}
+	if _, ok := serialSnap.Histograms["rare/wrong-isolation/level_occupancy"]; !ok {
+		t.Error("level-occupancy histogram missing from the rare-event metrics report")
+	}
+}
+
+// TestRareEventLevelOverride checks the -splitting/-levels overrides shape
+// the estimation: 3 levels mean penalty threshold 2 and a three-row
+// wrong-isolation table.
+func TestRareEventLevelOverride(t *testing.T) {
+	p := rareTestParams()
+	p.Workers = 1
+	p.SplitLevels = 3
+	out, _ := runCampaign(t, "rare-event", p)
+	if !strings.Contains(out, "penalty threshold 2") {
+		t.Fatalf("3-level run does not report penalty threshold 2:\n%s", out)
+	}
+	if !strings.Contains(out, "200 trials/level") {
+		t.Fatalf("effort override not honoured:\n%s", out)
+	}
+	if !strings.Contains(out, "penalty reaches 3") {
+		t.Fatalf("wrong-isolation class not re-levelled:\n%s", out)
+	}
+}

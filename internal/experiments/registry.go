@@ -47,6 +47,14 @@ type Params struct {
 	// single set field defaults the other to 1024 nodes / 16 shards.
 	FleetNodes  int
 	FleetShards int
+	// SplitEffort and SplitLevels tune the rare-event splitting experiment:
+	// trials per level and number of penalty-threshold levels (the
+	// penalty threshold is SplitLevels-1, so the top level is wrong
+	// isolation). 0/0 keeps the defaults (14000 trials, 8 levels). The
+	// experiment's work is SplitEffort x SplitLevels trials; Runs does not
+	// multiply it.
+	SplitEffort int
+	SplitLevels int
 	// Batched selects the lane-packed batched execution path for the
 	// campaigns that support it (sec8-bursts, sec8-pr, sec8-malicious):
 	// gangs of ⌊64/N⌋ repetitions advance together through one

@@ -49,6 +49,7 @@ var deterministicPkgs = []string{
 	"internal/membership",
 	"internal/metrics",
 	"internal/replay",
+	"internal/splitting",
 	"internal/stats",
 	"internal/trace",
 }

@@ -1,0 +1,257 @@
+package splitting
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"ttdiag/internal/core"
+	"ttdiag/internal/rng"
+	"ttdiag/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Cluster: sim.ClusterConfig{
+			N:  4,
+			PR: core.PRConfig{PenaltyThreshold: 7, RewardThreshold: 2},
+		},
+		Levels:    []int64{1, 2, 3, 4},
+		Effort:    400,
+		FaultProb: 0.1,
+	}
+}
+
+// TestRunWorkerCountInvariance pins the determinism contract: the entire
+// Result — every per-level count, every round total, the product estimate —
+// is bit-identical at any worker count.
+func TestRunWorkerCountInvariance(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	mk := func(workers int) *Result {
+		cfg := testConfig()
+		cfg.Workers = workers
+		cfg.OnClamp = func(int, int) {}
+		res, err := Run(cfg, rng.NewSource(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := mk(1)
+	if ref.P <= 0 {
+		t.Fatalf("test configuration produced a dry level (P = %v); pick parameters that exercise every level", ref.P)
+	}
+	for _, workers := range []int{2, 3, 4} {
+		if got := mk(workers); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, ref)
+		}
+	}
+}
+
+// directStaged estimates the same staged quantity splitting factorises — a
+// trajectory from the base state must climb every threshold, each within a
+// fresh StageRounds window of its previous crossing, without regenerating to
+// penalty zero once past the first — by brute force: one full trajectory per
+// trial, no cloning. The per-round fault process is iid Bernoulli under the
+// keyed hash, so re-keying clones at crossings (what splitting does) and
+// keeping one key throughout (what this does) draw from the same
+// distribution; the two estimates must agree within Monte-Carlo error.
+func directStaged(t *testing.T, cfg Config, src *rng.Source, trials int) float64 {
+	t.Helper()
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot, err := sim.NewReusableDiagnosticCluster(cfg.Cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot.Reset()
+	observer := 1
+	if cfg.Target == 1 {
+		observer = 2
+	}
+	warm := cfg.WarmRounds
+	if warm == 0 {
+		warm = boot.Runners[observer].Protocol().Config().Lag() + 2
+	}
+	if err := boot.Eng.RunRounds(warm); err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.NewClusterCheckpoint(boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Capture(boot); err != nil {
+		t.Fatal(err)
+	}
+	s := &session{cfg: cfg, src: src, observer: observer}
+	w, err := s.newWorker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+trialLoop:
+	for trial := 0; trial < trials; trial++ {
+		if err := base.Restore(w.cl); err != nil {
+			t.Fatal(err)
+		}
+		w.pool.Recycle()
+		w.fault.key = w.pool.Stream(fmt.Sprintf("direct/T%d", trial)).Uint64()
+		stage := 0
+		window := 0
+		for stage < len(cfg.Levels) {
+			if window >= cfg.StageRounds {
+				continue trialLoop // deadline missed
+			}
+			if err := w.cl.Eng.RunRound(); err != nil {
+				t.Fatal(err)
+			}
+			window++
+			imp := s.importance(w.cl)
+			if imp >= cfg.Levels[stage] {
+				stage++
+				window = 0
+				continue
+			}
+			if stage > 0 && imp == 0 {
+				continue trialLoop // regenerated
+			}
+		}
+		hits++
+	}
+	return float64(hits) / float64(trials)
+}
+
+// TestRunMatchesDirectMonteCarlo validates the estimator against brute
+// force in a regime reachable by both: the splitting product must agree
+// with the direct staged estimate well within their combined Monte-Carlo
+// error (the assertion allows 5 combined standard errors; the seeds are
+// fixed, so this is a deterministic regression check, not a flaky one).
+func TestRunMatchesDirectMonteCarlo(t *testing.T) {
+	cfg := Config{
+		Cluster: sim.ClusterConfig{
+			N:  4,
+			PR: core.PRConfig{PenaltyThreshold: 7, RewardThreshold: 2},
+		},
+		Levels:    []int64{1, 2},
+		Effort:    2500,
+		FaultProb: 0.3,
+	}
+	res, err := Run(cfg, rng.NewSource(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const directTrials = 6000
+	direct := directStaged(t, cfg, rng.NewSource(4), directTrials)
+	directSE := math.Sqrt(direct * (1 - direct) / directTrials)
+	tol := 5 * math.Hypot(res.P*res.RelErr, directSE)
+	if diff := math.Abs(res.P - direct); diff > tol {
+		t.Fatalf("splitting P = %v (RE %.3f) vs direct %v (SE %.4f): |diff| = %v > %v",
+			res.P, res.RelErr, direct, directSE, diff, tol)
+	}
+}
+
+// TestRunDeterministicExtremes pins the plumbing at the probability
+// extremes, where the dynamics are deterministic.
+func TestRunDeterministicExtremes(t *testing.T) {
+	// A fault every round climbs every level: P = 1, zero relative error.
+	cfg := testConfig()
+	cfg.Effort = 8
+	cfg.FaultProb = 1
+	res, err := Run(cfg, rng.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 || res.RelErr != 0 {
+		t.Fatalf("FaultProb=1: P = %v, RelErr = %v, want 1, 0", res.P, res.RelErr)
+	}
+	for i, lr := range res.Levels {
+		if lr.Hits != lr.Trials {
+			t.Fatalf("FaultProb=1: level %d hit %d/%d", i, lr.Hits, lr.Trials)
+		}
+	}
+	if res.NaiveTrials != 0 {
+		t.Fatalf("FaultProb=1: NaiveTrials = %v, want 0", res.NaiveTrials)
+	}
+
+	// No faults at all: level 0 is dry, the estimate is zero, and the
+	// estimation stops without attempting unreachable levels.
+	cfg = testConfig()
+	cfg.Effort = 8
+	cfg.FaultProb = 0
+	res, err = Run(cfg, rng.NewSource(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 || !math.IsInf(res.RelErr, 1) {
+		t.Fatalf("FaultProb=0: P = %v, RelErr = %v, want 0, +Inf", res.P, res.RelErr)
+	}
+	if len(res.Levels) != 1 || res.Levels[0].Hits != 0 {
+		t.Fatalf("FaultProb=0: levels = %+v, want one dry level", res.Levels)
+	}
+	if !math.IsInf(res.NaiveTrials, 1) {
+		t.Fatalf("FaultProb=0: NaiveTrials = %v, want +Inf", res.NaiveTrials)
+	}
+}
+
+// TestRunAccounting checks the bookkeeping invariants that the experiment
+// layer turns into metrics: restores count every trial, captures count the
+// base state plus every retained clone, and clones are exactly the non-final
+// level hits (final-level successes need no entry state).
+func TestRunAccounting(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(cfg, rng.NewSource(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(len(res.Levels)) * int64(cfg.Effort); res.Restores != want {
+		t.Fatalf("Restores = %d, want %d", res.Restores, want)
+	}
+	wantClones := 0
+	for i, lr := range res.Levels {
+		if i < len(cfg.Levels)-1 {
+			wantClones += lr.Hits
+		}
+	}
+	if res.Clones != wantClones {
+		t.Fatalf("Clones = %d, want %d", res.Clones, wantClones)
+	}
+	if res.Captures != wantClones+1 {
+		t.Fatalf("Captures = %d, want %d", res.Captures, wantClones+1)
+	}
+	var rounds int64
+	for _, lr := range res.Levels {
+		rounds += lr.Rounds
+	}
+	if res.Rounds <= rounds { // warm-up must be included
+		t.Fatalf("Rounds = %d, not greater than level sum %d", res.Rounds, rounds)
+	}
+	if res.NodeRounds != res.Rounds*4 {
+		t.Fatalf("NodeRounds = %d, want %d", res.NodeRounds, res.Rounds*4)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	src := rng.NewSource(1)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero effort", func(c *Config) { c.Effort = 0 }},
+		{"no levels", func(c *Config) { c.Levels = nil }},
+		{"descending levels", func(c *Config) { c.Levels = []int64{2, 1} }},
+		{"zero level", func(c *Config) { c.Levels = []int64{0, 1} }},
+		{"bad probability", func(c *Config) { c.FaultProb = 1.5 }},
+		{"bad target", func(c *Config) { c.Target = 9 }},
+	} {
+		cfg := testConfig()
+		tc.mutate(&cfg)
+		if _, err := Run(cfg, src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

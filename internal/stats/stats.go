@@ -105,3 +105,57 @@ func (d DurationSummary) String() string {
 	}
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v [%v, %v]", d.N, d.Mean, d.P50, d.P95, d.Min, d.Max)
 }
+
+// Wilson returns the Wilson score confidence interval for a binomial
+// proportion: successes hits out of trials draws, at critical value z
+// (1.96 for 95%). Unlike the normal approximation it stays inside [0, 1]
+// and remains usable at the tiny per-level probabilities the rare-event
+// splitting estimator works with. Zero trials yield the vacuous [0, 1].
+func Wilson(successes, trials int64, z float64) (lo, hi float64) {
+	if trials <= 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := p + z2/(2*n)
+	margin := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo = (center - margin) / denom
+	hi = (center + margin) / denom
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// RelativeErrorProduct returns the first-order relative standard error of a
+// product of independent binomial estimates — the multilevel-splitting
+// accuracy measure: for per-level estimates p̂_ℓ = k_ℓ/n_ℓ,
+//
+//	RE² ≈ Σ_ℓ (1-p̂_ℓ) / (p̂_ℓ · n_ℓ).
+//
+// The independence assumption makes it first-order: fixed-effort splitting
+// levels share trajectories through their entry states, so the true error
+// carries (positive) cross-level terms this ignores. A level with zero
+// successes (or zero trials) yields +Inf — the product estimate is zero and
+// its relative error undefined. successes and trials must be parallel
+// slices.
+func RelativeErrorProduct(successes, trials []int64) float64 {
+	if len(successes) != len(trials) {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range successes {
+		k, n := successes[i], trials[i]
+		if k <= 0 || n <= 0 {
+			return math.Inf(1)
+		}
+		p := float64(k) / float64(n)
+		sum += (1 - p) / (p * float64(n))
+	}
+	return math.Sqrt(sum)
+}

@@ -95,3 +95,42 @@ func TestSummarizeDurations(t *testing.T) {
 		t.Errorf("empty String() = %q", got)
 	}
 }
+
+func TestWilson(t *testing.T) {
+	// Reference values computed from the closed form.
+	lo, hi := Wilson(5, 10, 1.96)
+	if math.Abs(lo-0.2366) > 1e-3 || math.Abs(hi-0.7634) > 1e-3 {
+		t.Fatalf("Wilson(5,10) = [%.4f, %.4f], want ~[0.2366, 0.7634]", lo, hi)
+	}
+	// Extremes stay inside [0,1] and are asymmetric around p-hat.
+	lo, hi = Wilson(0, 100, 1.96)
+	if lo != 0 || hi <= 0 || hi > 0.05 {
+		t.Fatalf("Wilson(0,100) = [%.4f, %.4f], want [0, ~0.037]", lo, hi)
+	}
+	lo, hi = Wilson(100, 100, 1.96)
+	if hi < 1-1e-9 || hi > 1 || lo < 0.95 {
+		t.Fatalf("Wilson(100,100) = [%.4f, %.4f], want [~0.963, 1]", lo, hi)
+	}
+	if lo, hi = Wilson(3, 0, 1.96); lo != 0 || hi != 1 {
+		t.Fatalf("Wilson with zero trials must be vacuous, got [%v, %v]", lo, hi)
+	}
+}
+
+func TestRelativeErrorProduct(t *testing.T) {
+	// One level, p = 0.5, n = 1000: RE = sqrt(0.5/(0.5*1000)) = sqrt(1/1000).
+	re := RelativeErrorProduct([]int64{500}, []int64{1000})
+	if want := math.Sqrt(1.0 / 1000); math.Abs(re-want) > 1e-12 {
+		t.Fatalf("RE = %v, want %v", re, want)
+	}
+	// Terms add in quadrature across levels.
+	re2 := RelativeErrorProduct([]int64{500, 500}, []int64{1000, 1000})
+	if want := math.Sqrt(2.0 / 1000); math.Abs(re2-want) > 1e-12 {
+		t.Fatalf("two-level RE = %v, want %v", re2, want)
+	}
+	if re := RelativeErrorProduct([]int64{0}, []int64{1000}); !math.IsInf(re, 1) {
+		t.Fatalf("zero-success level must yield +Inf, got %v", re)
+	}
+	if re := RelativeErrorProduct([]int64{1}, []int64{1000, 5}); !math.IsNaN(re) {
+		t.Fatalf("mismatched slices must yield NaN, got %v", re)
+	}
+}

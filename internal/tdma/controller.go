@@ -238,3 +238,34 @@ func (c *Controller) RecordCollision(round int, collided bool) {
 //
 //ttdiag:noretain
 func (c *Controller) Outbox() []byte { return c.outbox }
+
+// CopyStateFrom overwrites this controller's complete observable state —
+// interface copies, validity bits and mask, staged outbox, isolation marks,
+// collision history — with src's, deep-copying every payload into this
+// controller's own scratch buffers. Both controllers must model the same
+// node of the same system; src is left untouched and the two share no
+// mutable memory afterwards. Once this controller's per-sender buffers have
+// grown to src's payload sizes the copy allocates nothing, which is what
+// makes it the in-memory checkpoint path for splitting clones.
+func (c *Controller) CopyStateFrom(src *Controller) error {
+	if c.id != src.id || c.n != src.n {
+		return fmt.Errorf("tdma: CopyStateFrom across controllers (dst node %d/%d, src node %d/%d)",
+			c.id, c.n, src.id, src.n)
+	}
+	for j := 1; j <= c.n; j++ {
+		if src.values[j] == nil {
+			c.values[j] = nil
+		} else {
+			c.valBuf[j] = append(c.valBuf[j][:0], src.values[j]...)
+			c.values[j] = c.valBuf[j]
+		}
+		c.valid[j] = src.valid[j]
+		c.ignored[j] = src.ignored[j]
+	}
+	c.validMask = src.validMask
+	c.outbox = append(c.outbox[:0], src.outbox...)
+	c.collRound = src.collRound
+	c.collVerdict = src.collVerdict
+	c.collSeen = src.collSeen
+	return nil
+}

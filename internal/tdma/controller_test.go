@@ -1,0 +1,117 @@
+package tdma
+
+import "testing"
+
+// populate drives a controller through a representative mix of state: valid
+// deliveries, an invalid one, an empty-but-valid one, an isolation mark, a
+// staged outbox, and collision verdicts.
+func populate(t *testing.T, c *Controller) {
+	t.Helper()
+	c.ApplyDelivery(1, Delivery{Payload: []byte{0xA1, 0xA2, 0xA3}, Valid: true})
+	c.ApplyDelivery(2, Delivery{Payload: []byte{0xB1}, Valid: true})
+	c.ApplyDelivery(3, Delivery{Valid: false}) // locally detected faulty frame
+	c.ApplyDelivery(4, Delivery{Valid: true})  // valid but empty: nil value, valid bit up
+	c.SetIgnored(2, true)                      // isolated after delivery
+	c.WriteInterface([]byte{0xC1, 0xC2})
+	c.RecordCollision(5, true)
+	c.RecordCollision(7, false)
+}
+
+// sameState fails the test unless dst and src expose identical observable
+// state through every accessor.
+func sameState(t *testing.T, dst, src *Controller) {
+	t.Helper()
+	for j := 1; j <= src.N(); j++ {
+		sv, sok := src.ReadValue(NodeID(j))
+		dv, dok := dst.ReadValue(NodeID(j))
+		if sok != dok || string(sv) != string(dv) || (sv == nil) != (dv == nil) {
+			t.Fatalf("sender %d: dst value %v/%v, src %v/%v", j, dv, dok, sv, sok)
+		}
+		if dst.Ignored(NodeID(j)) != src.Ignored(NodeID(j)) {
+			t.Fatalf("sender %d: ignored mismatch", j)
+		}
+	}
+	if dst.ValidMask() != src.ValidMask() {
+		t.Fatalf("validMask %#x != %#x", dst.ValidMask(), src.ValidMask())
+	}
+	if string(dst.Outbox()) != string(src.Outbox()) {
+		t.Fatalf("outbox %v != %v", dst.Outbox(), src.Outbox())
+	}
+	for round := 0; round < 2*collisionHistory; round++ {
+		sc, sok := src.Collision(round)
+		dc, dok := dst.Collision(round)
+		if sc != dc || sok != dok {
+			t.Fatalf("round %d: collision %v/%v != %v/%v", round, dc, dok, sc, sok)
+		}
+	}
+}
+
+func TestControllerCopyStateFrom(t *testing.T) {
+	src, err := NewController(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewController(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate(t, src)
+	if err := dst.CopyStateFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, dst, src)
+
+	// No shared mutable memory: mutating src afterwards must not leak into dst.
+	src.ApplyDelivery(1, Delivery{Payload: []byte{0xEE, 0xEE, 0xEE}, Valid: true})
+	src.WriteInterface([]byte{0xEF})
+	if v, _ := dst.ReadValue(1); string(v) != "\xA1\xA2\xA3" {
+		t.Fatalf("dst value aliased src scratch: %v", v)
+	}
+	if string(dst.Outbox()) != "\xC1\xC2" {
+		t.Fatalf("dst outbox aliased src scratch: %v", dst.Outbox())
+	}
+
+	// Copying into a dirty controller fully overwrites its previous state.
+	dirty, err := NewController(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty.ApplyDelivery(3, Delivery{Payload: []byte{9, 9, 9, 9, 9, 9}, Valid: true})
+	dirty.RecordCollision(1, true)
+	if err := dirty.CopyStateFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, dirty, src)
+}
+
+func TestControllerCopyStateFromRejectsMismatch(t *testing.T) {
+	a, _ := NewController(1, 4)
+	b, _ := NewController(2, 4)
+	c, _ := NewController(1, 5)
+	if err := a.CopyStateFrom(b); err == nil {
+		t.Fatal("copy across node ids must fail")
+	}
+	if err := a.CopyStateFrom(c); err == nil {
+		t.Fatal("copy across system sizes must fail")
+	}
+}
+
+// TestControllerCopyStateFromAllocs pins the zero-alloc steady state: after
+// one warm copy has grown the destination's scratch buffers, further copies
+// from the same source shape allocate nothing.
+func TestControllerCopyStateFromAllocs(t *testing.T) {
+	src, _ := NewController(1, 4)
+	dst, _ := NewController(1, 4)
+	populate(t, src)
+	if err := dst.CopyStateFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := dst.CopyStateFrom(src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CopyStateFrom allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

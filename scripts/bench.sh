@@ -2,10 +2,11 @@
 # bench.sh runs the campaign engine and protocol hot-path benchmarks and
 # records every sample in BENCH_campaign.json, plus the packed voting-kernel
 # microbenchmarks in BENCH_core.json, the telemetry-layer benchmarks
-# (instrument costs and Step with metrics on/off) in BENCH_metrics.json and
+# (instrument costs and Step with metrics on/off) in BENCH_metrics.json,
 # the hierarchical fleet campaign (sharded vs scalar monolithic at equal
-# node-rounds) in BENCH_fleet.json, so the bench trajectory of the
-# repository can be tracked across commits. Usage:
+# node-rounds) in BENCH_fleet.json and the rare-event splitting estimation
+# (checkpoint-restore hot loop) in BENCH_splitting.json, so the bench
+# trajectory of the repository can be tracked across commits. Usage:
 #
 #   scripts/bench.sh                 # 5 samples per benchmark (default)
 #   COUNT=1 scripts/bench.sh         # quick single-sample run
@@ -46,7 +47,7 @@ fold_json < "$raw" > BENCH_campaign.json
 echo "wrote BENCH_campaign.json"
 
 go test -run '^$' \
-    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow|BenchmarkStepBatch|BenchmarkScalarStep' \
+    -bench 'BenchmarkVoteAll|BenchmarkVoteAllScalar|BenchmarkMatrixSetRow|BenchmarkStepBatch|BenchmarkScalarStep|BenchmarkCheckpointRestore' \
     -benchmem -count="$COUNT" ./internal/core/ | tee "$raw"
 fold_json < "$raw" > BENCH_core.json
 echo "wrote BENCH_core.json"
@@ -66,3 +67,9 @@ go test -run '^$' \
     -benchmem -count="$COUNT" ./internal/fleet/ | tee "$raw"
 fold_json < "$raw" > BENCH_fleet.json
 echo "wrote BENCH_fleet.json"
+
+go test -run '^$' \
+    -bench 'BenchmarkSplittingCampaign' \
+    -benchmem -count="$COUNT" ./internal/splitting/ | tee "$raw"
+fold_json < "$raw" > BENCH_splitting.json
+echo "wrote BENCH_splitting.json"

@@ -43,12 +43,19 @@ check_fleet_determinism() {
     go test -race -cpu=1,4 ./internal/experiments/ -run TestFleetCampaignWorkerCountInvariance
 }
 
+check_checkpoint_determinism() {
+    go test -race -cpu=1,4 ./internal/core/ -run 'TestCopyFromMatchesJSONRestore|TestCopyFromContinuation'
+    go test -race -cpu=1,4 ./internal/sim/ -run 'TestClusterCheckpointRewind|TestClusterCheckpointCrossCluster'
+    go test -race -cpu=1,4 ./internal/splitting/ -run 'TestRunWorkerCountInvariance|TestRunMatchesDirectMonteCarlo'
+    go test -race -cpu=1,4 ./internal/experiments/ -run TestRareEventCampaignWorkerCountInvariance
+}
+
 step "gofmt" check_gofmt
 step "go vet" go vet ./...
 step "go build" go build ./...
 step "go test" go test ./...
 step "go test -race (concurrent packages)" \
-    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/... ./internal/fleet/...
+    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/... ./internal/fleet/... ./internal/splitting/...
 step "go test -race -cpu=1,4 (campaign determinism)" \
     go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
 step "go test -race -cpu=1,4 (metrics determinism)" check_metrics_determinism
@@ -59,8 +66,9 @@ step "go test -race -cpu=1,4 (packed/scalar step equivalence)" \
 step "go test -race -cpu=1,4 (batched campaign determinism)" \
     go test -race -cpu=1,4 ./internal/experiments/ -run 'TestBatchedWorkerCountInvariance|TestBatchedCampaignEquivalence|TestScaleResilienceBatchedEquivalence'
 step "go test -race -cpu=1,4 (fleet determinism)" check_fleet_determinism
+step "go test -race -cpu=1,4 (checkpoint + splitting determinism)" check_checkpoint_determinism
 step "go test (allocation ceilings)" \
-    go test ./internal/core/ ./internal/sim/ ./internal/fleet/ -run 'Allocs'
+    go test ./internal/core/ ./internal/tdma/ ./internal/sim/ ./internal/fleet/ -run 'Allocs'
 step "go test -fuzz (packed voting kernel, seed corpus + short fuzz)" \
     go test ./internal/core/ -run FuzzVoteAll -fuzz 'FuzzVoteAll$' -fuzztime 15s
 step "go test -fuzz (lane-packed voting kernel, seed corpus + short fuzz)" \
