@@ -128,7 +128,7 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "ttdiag-experiments: progress at http://%s/debug/vars\n", addr)
+			fmt.Fprintf(os.Stderr, "ttdiag-experiments: progress at http://%s/debug/vars, profiles at http://%s/debug/pprof/\n", addr, addr)
 		}
 		defer prog.Finish()
 	}
@@ -145,6 +145,12 @@ func run(args []string) error {
 	if jw != nil {
 		if err := jw.Err(); err != nil {
 			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if dc, ok := p.Trace.(trace.DropCounter); ok {
+		if n := dc.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "ttdiag-experiments: warning: trace sink evicted %d events; the JSONL stream is incomplete\n", n)
+			rep.SetTraceDropped(n)
 		}
 	}
 	if rep != nil {

@@ -327,13 +327,22 @@ func simulateDiag(o options, cfg sim.ClusterConfig) error {
 	fmt.Printf("active nodes: %v\n", alive)
 	if o.gantt {
 		events := rec.Events()
+		// Node 1's isolations/reintegrations already arrive through its causal
+		// flight recorder (ClusterConfig.Sink); synthesize only the other
+		// observers' decisions from the collector to avoid duplicate marks.
 		for _, iso := range col.Isolations {
+			if iso.Observer == 1 {
+				continue
+			}
 			events = append(events, trace.Event{
 				Round: iso.Round, Kind: trace.KindIsolation,
 				Node: iso.Observer, Subject: iso.Node,
 			})
 		}
 		for _, re := range col.Reintegrations {
+			if re.Observer == 1 {
+				continue
+			}
 			events = append(events, trace.Event{
 				Round: re.Round, Kind: trace.KindReintegration,
 				Node: re.Observer, Subject: re.Node,

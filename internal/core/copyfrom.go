@@ -67,6 +67,11 @@ func (p *Protocol) CopyFrom(src *Protocol) error {
 	// state; dropping it skips one round of the monotonicity check after a
 	// restore, exactly like RestoreProtocol.
 	p.invPrevActive = nil
+	// An attached flight recorder re-baselines on the copied counters so the
+	// wholesale state swap does not masquerade as penalty changes.
+	if p.trace != nil {
+		p.trace.resync(p.pr)
+	}
 	return nil
 }
 

@@ -358,6 +358,10 @@ type Protocol struct {
 	// reusable campaign clusters keep accumulating across repetitions.
 	metrics *StepMetrics
 
+	// trace is the optional causal flight recorder (SetTrace); same nil-is-
+	// off discipline and lifetime as metrics.
+	trace *StepTrace
+
 	// packed selects the bit-plane hot path; set at construction for
 	// N <= MaxPackedN (tests force it off to exercise the scalar reference).
 	packed bool
@@ -408,6 +412,14 @@ type Protocol struct {
 // N <= MaxPackedN automatically run the bit-packed hot path.
 func NewProtocol(cfg Config) (*Protocol, error) {
 	return newProtocol(cfg, cfg.N <= MaxPackedN)
+}
+
+// NewScalarProtocol is NewProtocol pinned to the scalar reference
+// representation regardless of N. Differential tooling — forced-scalar
+// clusters, the divergence bisector — uses it to run the reference path on
+// packed-eligible sizes; production callers should prefer NewProtocol.
+func NewScalarProtocol(cfg Config) (*Protocol, error) {
+	return newProtocol(cfg, false)
 }
 
 // newProtocol is NewProtocol with an explicit representation choice; tests
@@ -489,6 +501,9 @@ func (p *Protocol) Reset() {
 	p.invPrevActive = nil
 	p.steps = 0
 	p.pr.Reset()
+	if p.trace != nil {
+		p.trace.resync(p.pr)
+	}
 }
 
 // ResetConfig is Reset with a configuration swap: it revalidates cfg and
@@ -696,6 +711,12 @@ func (p *Protocol) stepPacked(in PackedRoundInput) (RoundOutput, error) {
 					p.accuse[j] = accusationTTL
 					p.accuseMask |= jb
 					out.Accused = append(out.Accused, j)
+					if p.trace != nil {
+						// Evidence class: a definite opinion opposite the
+						// verdict on an unguarded column, vs ε-only conflict.
+						definite := (matrix.know[j]&(matrix.op[j]^consBits.Op))&^(jb|skip) != 0
+						p.trace.noteEvidence(j, definite)
+					}
 				}
 			}
 			// Age updates happen after the whole check loop so that every
@@ -769,6 +790,9 @@ func (p *Protocol) stepPacked(in PackedRoundInput) (RoundOutput, error) {
 	p.lastSentP = outBits
 	if p.metrics != nil {
 		p.emitStepMetrics(&out, matrix, warm)
+	}
+	if p.trace != nil {
+		p.emitStepTrace(&out, warm)
 	}
 	p.ageAccusations()
 	p.steps++
@@ -881,6 +905,9 @@ func (p *Protocol) stepScalar(in RoundInput) (RoundOutput, error) {
 						p.accuseMask |= 1 << uint(j-1)
 					}
 					out.Accused = append(out.Accused, j)
+					if p.trace != nil {
+						p.trace.noteEvidence(j, p.disagreesDefinite(row, consHV, j))
+					}
 				}
 			}
 			// Age updates happen after the whole check loop so that every
@@ -960,6 +987,9 @@ func (p *Protocol) stepScalar(in RoundInput) (RoundOutput, error) {
 	p.lastSent = outSyn
 	if p.metrics != nil {
 		p.emitStepMetrics(&out, matrix, warm)
+	}
+	if p.trace != nil {
+		p.emitStepTrace(&out, warm)
 	}
 	p.ageAccusations()
 	p.steps++

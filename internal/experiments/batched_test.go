@@ -122,6 +122,34 @@ func TestBatchedTraceFallsBackToPerRun(t *testing.T) {
 	}
 }
 
+// TestBatchedTraceEquivalence is the batched-path causal-event gate, run
+// under -race -cpu=1,4 by scripts/check.sh and CI: the event stream a
+// Batched campaign emits (through its per-run fallback) must be identical,
+// event for event, to the stream of the plain per-run campaign — same
+// accusations, same penalty trajectories, same isolations, in the same
+// order.
+func TestBatchedTraceEquivalence(t *testing.T) {
+	for _, id := range batchedIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var perRun, batched trace.Recorder
+			if err := Run(id, Params{Seed: 7, Runs: 5, Workers: 1, Trace: &perRun}); err != nil {
+				t.Fatal(err)
+			}
+			if err := Run(id, Params{Seed: 7, Runs: 5, Workers: 1, Batched: true, Trace: &batched}); err != nil {
+				t.Fatal(err)
+			}
+			if len(perRun.Events()) == 0 {
+				t.Fatal("per-run campaign emitted no trace events")
+			}
+			if i := trace.FirstDivergence(perRun.Events(), batched.Events()); i >= 0 {
+				t.Fatalf("trace streams diverge at event %d", i)
+			}
+		})
+	}
+}
+
 // TestScaleResilienceBatchedEquivalence pins the wide scale-resilience rows
 // (N = 32 and N = 64, see scale_wide.go): the rendered sweep is
 // byte-identical whether the a = 0 wide cases run per-run or through their

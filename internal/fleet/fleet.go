@@ -8,6 +8,7 @@ import (
 	"ttdiag/internal/metrics"
 	"ttdiag/internal/rng"
 	"ttdiag/internal/sim"
+	"ttdiag/internal/trace"
 )
 
 // defaultShardRoundLen is the paper's prototype TDMA round (2.5 ms at N = 4);
@@ -117,6 +118,9 @@ type Campaign struct {
 	summaries [][]core.ShardSummary
 	// roundSums is the per-round transmit scratch of the gateway phase.
 	roundSums []core.ShardSummary
+	// health is the per-shard previous summary health, scratch for the
+	// causal shard-health transition events (Config.Sink).
+	health []core.Opinion
 }
 
 // New builds a fleet campaign.
@@ -135,6 +139,7 @@ func New(cfg Config) (*Campaign, error) {
 		first:     make([]int, cfg.Shards),
 		summaries: make([][]core.ShardSummary, cfg.Shards),
 		roundSums: make([]core.ShardSummary, cfg.Shards),
+		health:    make([]core.Opinion, cfg.Shards),
 		shardSM:   make([]*core.StepMetrics, cfg.Shards),
 		shardSys:  make([]*sim.RunMetrics, cfg.Shards),
 	}
@@ -306,6 +311,12 @@ func (c *Campaign) Run(src *rng.Source, hooks Hooks) (*Result, error) {
 	for job, sr := range outs {
 		res.Shards[shardOf(job)] = sr
 	}
+	if c.cfg.Sink != nil {
+		// Causal emission happens serially over the recorded summary
+		// timelines, never inside the parallel shard phase, so the stream is
+		// identical at any worker count and shard order.
+		c.emitShardHealth()
+	}
 	if c.gw == nil {
 		return res, nil
 	}
@@ -354,6 +365,20 @@ func (c *Campaign) Run(src *rng.Source, hooks Hooks) (*Result, error) {
 				c.gwIsol.Add(1)
 				if gr.IsolationRound[t] < 0 {
 					gr.IsolationRound[t] = k
+					if c.cfg.Sink != nil {
+						// One event per shard isolation: g is the first
+						// gateway seen isolating (all obedient gateways
+						// decide identically in the same round).
+						c.cfg.Sink.Record(trace.Event{
+							Round:     k,
+							Kind:      trace.KindIsolation,
+							Node:      g,
+							Subject:   t,
+							Penalty:   c.gw.protos[g].PenaltyReward().Penalty(t),
+							Threshold: c.cfg.GatewayPR.PenaltyThreshold,
+							Detail:    "gateway level",
+						})
+					}
 				}
 			}
 		}
@@ -364,6 +389,45 @@ func (c *Campaign) Run(src *rng.Source, hooks Hooks) (*Result, error) {
 	}
 	res.Gateway = gr
 	return res, nil
+}
+
+// emitShardHealth streams one KindShardHealth event per shard-summary
+// health transition, chronological (round-major, then shard). The baseline
+// is Healthy — the nominal state — so quiet fleets emit nothing; Subject is
+// the 1-based shard index.
+func (c *Campaign) emitShardHealth() {
+	for i := range c.health {
+		c.health[i] = core.Healthy
+	}
+	for k := 0; k < c.cfg.Rounds; k++ {
+		for i := 0; i < c.cfg.Shards; i++ {
+			h := c.summaries[i][k].Health()
+			if h == c.health[i] {
+				continue
+			}
+			c.health[i] = h
+			s := c.summaries[i][k]
+			c.cfg.Sink.Record(trace.Event{
+				Round:   k,
+				Kind:    trace.KindShardHealth,
+				Subject: i + 1,
+				Detail:  fmt.Sprintf("%s (%d/%d isolated, %d faulty)", healthName(h), s.Isolated, s.Size, s.Faulty),
+			})
+		}
+	}
+}
+
+// healthName renders a shard-health opinion for event details (the Opinion
+// String form is the terse matrix glyph).
+func healthName(h core.Opinion) string {
+	switch h {
+	case core.Healthy:
+		return "healthy"
+	case core.Faulty:
+		return "faulty"
+	default:
+		return "erased"
+	}
 }
 
 // setOrder installs a shard dispatch permutation (test seam). perm must be a

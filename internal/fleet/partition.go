@@ -19,6 +19,7 @@ import (
 
 	"ttdiag/internal/core"
 	"ttdiag/internal/metrics"
+	"ttdiag/internal/trace"
 )
 
 // Partition splits an N-node fleet into the given number of shards, sized as
@@ -82,6 +83,11 @@ type Config struct {
 	// snapshot is invariant to worker count and shard order). nil keeps the
 	// campaign on the zero-overhead metrics-off path.
 	Metrics *metrics.WorkerSet
+	// Sink, when non-nil, receives the fleet's causal events — shard-summary
+	// health transitions and first gateway-level isolations — emitted during
+	// the serial gateway phase of every Run, so the stream is identical at
+	// any worker count. nil keeps the campaign trace-free.
+	Sink trace.Sink
 }
 
 func (c Config) withDefaults() Config {

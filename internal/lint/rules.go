@@ -52,6 +52,7 @@ var deterministicPkgs = []string{
 	"internal/splitting",
 	"internal/stats",
 	"internal/trace",
+	"internal/bisect",
 }
 
 // orderSensitivePkgs covers the packages where map-iteration order would

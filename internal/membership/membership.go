@@ -71,11 +71,26 @@ type Service struct {
 // New builds the membership service for one node. The configuration's Mode
 // is forced to core.ModeMembership.
 func New(cfg core.Config) (*Service, error) {
+	return newService(cfg, false)
+}
+
+// NewScalar is New pinned to the scalar reference protocol representation
+// regardless of N (see core.NewScalarProtocol); differential tooling uses it
+// to run the reference path on packed-eligible sizes.
+func NewScalar(cfg core.Config) (*Service, error) {
+	return newService(cfg, true)
+}
+
+func newService(cfg core.Config, forceScalar bool) (*Service, error) {
 	if cfg.Mode != 0 && cfg.Mode != core.ModeMembership {
 		return nil, fmt.Errorf("membership: config mode must be ModeMembership, got %d", cfg.Mode)
 	}
 	cfg.Mode = core.ModeMembership
-	proto, err := core.NewProtocol(cfg)
+	build := core.NewProtocol
+	if forceScalar {
+		build = core.NewScalarProtocol
+	}
+	proto, err := build(cfg)
 	if err != nil {
 		return nil, err
 	}

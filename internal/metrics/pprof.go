@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"expvar"
+	"sync"
+	"time"
+
+	// The blank import hooks net/http/pprof's handlers (/debug/pprof/...)
+	// into the default HTTP mux, right next to expvar's /debug/vars —
+	// StartDebugServer serves that mux, so a -progress-addr endpoint exposes
+	// live profiling with no extra wiring. Registration is all the package
+	// does at import time; nothing runs until the debug server is started.
+	_ "net/http/pprof"
+)
+
+var debugStartOnce sync.Once
+
+// publishDebugStart publishes the debug server's start time under
+// ttdiag.debug.start so scraped profiles and progress counters can be
+// aligned against the host clock. It runs at most once per process, only on
+// the StartDebugServer path — the stamp is debug-side observability and,
+// like Progress, never enters a Snapshot or Report.
+func publishDebugStart() {
+	debugStartOnce.Do(func() {
+		//lint:ignore no-wallclock debug-server start stamp for profile correlation; never enters deterministic outputs
+		start := time.Now()
+		expvar.Publish("ttdiag.debug.start", expvar.Func(func() any {
+			return start.Format(time.RFC3339Nano)
+		}))
+	})
+}

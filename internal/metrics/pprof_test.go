@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServerServesPprofAndVars: the debug endpoint must expose both
+// expvar's /debug/vars — with the start stamp published on the server path —
+// and net/http/pprof's profile index, since the experiments CLI points its
+// -progress-addr users at both.
+func TestDebugServerServesPprofAndVars(t *testing.T) {
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot bind loopback: %v", err)
+	}
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "ttdiag.debug.start") {
+		t.Fatalf("/debug/vars lacks the debug start stamp:\n%s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ index lacks the profile list:\n%s", idx)
+	}
+}

@@ -137,7 +137,8 @@ func (p *Progress) PublishExpvar(name string) {
 }
 
 // StartDebugServer binds addr and serves the default HTTP mux — which
-// includes expvar's /debug/vars — in a background goroutine. The bind
+// includes expvar's /debug/vars and net/http/pprof's /debug/pprof/...
+// profiling handlers (see pprof.go) — in a background goroutine. The bind
 // happens synchronously so configuration errors surface immediately; serve
 // errors after a successful bind are dropped (the endpoint is best-effort
 // observability, not part of any result).
@@ -146,6 +147,7 @@ func StartDebugServer(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metrics: debug server: %w", err)
 	}
+	publishDebugStart()
 	go func() {
 		_ = http.Serve(ln, nil)
 	}()

@@ -239,6 +239,12 @@ type Report struct {
 	Runs int   `json:"runs"`
 	// Experiments maps experiment ID to its merged snapshot.
 	Experiments map[string]Snapshot `json:"experiments"`
+	// TraceDropped counts causal events a bounded trace sink evicted during
+	// the run (trace.DropCounter); zero — and omitted — when no sink was
+	// attached or nothing was lost. A non-zero count means the JSONL trace
+	// is incomplete and any explain/bisect chain built from it may have
+	// holes.
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
 }
 
 // NewReport returns an empty report with the current schema version.
@@ -262,6 +268,16 @@ func (r *Report) Set(id string, s Snapshot) {
 		r.Experiments = map[string]Snapshot{}
 	}
 	r.Experiments[id] = s
+}
+
+// SetTraceDropped records the trace sink's eviction count. Calling it on a
+// nil Report is a no-op, mirroring Set, so callers can surface drops
+// without checking whether a metrics report was requested.
+func (r *Report) SetTraceDropped(n int64) {
+	if r == nil {
+		return
+	}
+	r.TraceDropped = n
 }
 
 // Snapshot returns the snapshot filed under the experiment ID (zero value

@@ -35,8 +35,18 @@ type ClusterConfig struct {
 	// Mode selects diagnostic or membership behaviour for DiagRunner-based
 	// clusters (NewDiagnosticCluster forces ModeDiagnostic).
 	Mode core.Mode
-	// Sink receives trace events; nil discards them.
+	// Sink receives trace events; nil discards them. Besides the engine's
+	// transmit/job events, a non-nil sink also receives node 1's causal
+	// flight-recorder stream (accusations, penalty changes, isolations,
+	// reintegrations — see core.StepTrace) and, in membership clusters, view
+	// changes. One observer suffices: Theorem 1 consistency makes every
+	// obedient node's causal transitions identical.
 	Sink trace.Sink
+	// ForceScalar pins every protocol to the scalar reference representation
+	// regardless of N. Differential tooling (the divergence bisector) runs a
+	// forced-scalar cluster against a packed one to localise representation
+	// divergences; production clusters leave it false.
+	ForceScalar bool
 }
 
 func (c ClusterConfig) withDefaults() (ClusterConfig, error) {
@@ -131,8 +141,12 @@ func NewDiagnosticCluster(cfg ClusterConfig) (*Engine, []*DiagRunner, error) {
 	}
 	eng := NewEngine(sched, cfg.Sink)
 	runners := make([]*DiagRunner, cfg.N+1)
+	newRunner := NewDiagRunner
+	if cfg.ForceScalar {
+		newRunner = NewScalarDiagRunner
+	}
 	for id := 1; id <= cfg.N; id++ {
-		r, err := NewDiagRunner(cfg.nodeConfig(id))
+		r, err := newRunner(cfg.nodeConfig(id))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -140,6 +154,11 @@ func NewDiagnosticCluster(cfg ClusterConfig) (*Engine, []*DiagRunner, error) {
 			return nil, nil, err
 		}
 		runners[id] = r
+	}
+	if cfg.Sink != nil {
+		// Node 1 carries the causal flight recorder (one observer — see the
+		// Sink field); the attachment survives runner resets.
+		runners[1].Protocol().SetTrace(core.NewStepTrace(cfg.Sink))
 	}
 	bootstrapOutboxes(eng, cfg.N)
 	return eng, runners, nil
@@ -289,8 +308,12 @@ func NewMembershipCluster(cfg ClusterConfig) (*Engine, []*MembershipRunner, erro
 	}
 	eng := NewEngine(sched, cfg.Sink)
 	runners := make([]*MembershipRunner, cfg.N+1)
+	newRunner := NewMembershipRunner
+	if cfg.ForceScalar {
+		newRunner = NewScalarMembershipRunner
+	}
 	for id := 1; id <= cfg.N; id++ {
-		r, err := NewMembershipRunner(cfg.nodeConfig(id))
+		r, err := newRunner(cfg.nodeConfig(id))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -298,6 +321,12 @@ func NewMembershipCluster(cfg ClusterConfig) (*Engine, []*MembershipRunner, erro
 			return nil, nil, err
 		}
 		runners[id] = r
+	}
+	if cfg.Sink != nil {
+		// Node 1 carries the causal flight recorder and announces view
+		// changes (one observer — see the Sink field).
+		runners[1].Service().Protocol().SetTrace(core.NewStepTrace(cfg.Sink))
+		runners[1].sink = cfg.Sink
 	}
 	bootstrapOutboxes(eng, cfg.N)
 	return eng, runners, nil

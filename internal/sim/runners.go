@@ -7,6 +7,7 @@ import (
 	"ttdiag/internal/core"
 	"ttdiag/internal/membership"
 	"ttdiag/internal/tdma"
+	"ttdiag/internal/trace"
 )
 
 // inputScratch is a runner-owned reusable backing for core.RoundInput: the
@@ -231,7 +232,22 @@ var _ Runner = (*DiagRunner)(nil)
 
 // NewDiagRunner builds the runner and its protocol instance.
 func NewDiagRunner(cfg core.Config) (*DiagRunner, error) {
-	proto, err := core.NewProtocol(cfg)
+	return newDiagRunner(cfg, false)
+}
+
+// NewScalarDiagRunner is NewDiagRunner pinned to the scalar reference
+// representation (see ClusterConfig.ForceScalar); the divergence bisector
+// runs packed and scalar variants of the same cluster side by side with it.
+func NewScalarDiagRunner(cfg core.Config) (*DiagRunner, error) {
+	return newDiagRunner(cfg, true)
+}
+
+func newDiagRunner(cfg core.Config, forceScalar bool) (*DiagRunner, error) {
+	build := core.NewProtocol
+	if forceScalar {
+		build = core.NewScalarProtocol
+	}
+	proto, err := build(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -292,6 +308,12 @@ type MembershipRunner struct {
 	act     activityCache
 	// OnOutput, when set, observes every round output.
 	OnOutput func(membership.Output)
+	// sink, when set, receives a KindViewChange causal event whenever a new
+	// view is installed. The cluster builders wire it for node 1 only (view
+	// synchrony makes every obedient node's transitions identical, so one
+	// observer suffices); like the engine sink it is cluster wiring, not a
+	// per-run observer, and survives ResetForRun.
+	sink trace.Sink
 }
 
 // ResetForRun returns the runner (and its membership service) to the freshly
@@ -309,6 +331,16 @@ var _ Runner = (*MembershipRunner)(nil)
 // NewMembershipRunner builds the runner and its membership service.
 func NewMembershipRunner(cfg core.Config) (*MembershipRunner, error) {
 	svc, err := membership.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MembershipRunner{svc: svc}, nil
+}
+
+// NewScalarMembershipRunner is NewMembershipRunner pinned to the scalar
+// reference representation (see ClusterConfig.ForceScalar).
+func NewScalarMembershipRunner(cfg core.Config) (*MembershipRunner, error) {
+	svc, err := membership.NewScalar(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +373,14 @@ func (r *MembershipRunner) Run(round int, ctrl *tdma.Controller) ([]byte, error)
 		return nil, err
 	}
 	r.act.apply(ctrl, out.Diag, proto.Packed(), cfg.PR.ReintegrationThreshold > 0)
+	if r.sink != nil && out.ViewChanged {
+		r.sink.Record(trace.Event{
+			Round:  round,
+			Kind:   trace.KindViewChange,
+			Node:   cfg.ID,
+			Detail: fmt.Sprintf("view %d installed (%d members)", out.View.ID, len(out.View.Members)),
+		})
+	}
 	r.last = out
 	if r.OnOutput != nil {
 		r.OnOutput(out)

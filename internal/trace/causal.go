@@ -1,0 +1,148 @@
+package trace
+
+import "fmt"
+
+// This file holds the pure query helpers over recorded event streams that
+// back the ttdiag-trace CLI: run splitting, per-node isolation timelines,
+// causal-chain extraction for an isolation, and stream diffing. Everything
+// operates on in-memory []Event slices (from a Recorder or ReadJSONL) and
+// performs no I/O, so the CLI's behaviour is pinned by plain unit tests.
+
+// Evidence classifications attached to KindAccusation events (see
+// Event.Evidence).
+const (
+	// EvidenceVerdict marks an accusation whose row held a definite opinion
+	// opposite the H-maj verdict on some column.
+	EvidenceVerdict = "hmaj-verdict"
+	// EvidenceMatrix marks an accusation whose row merely lacked opinions
+	// (ε) on columns where the consistent health vector holds a verdict.
+	EvidenceMatrix = "matrix-disagreement"
+)
+
+// SplitRuns splits a multi-repetition stream into per-run slices on the
+// KindNote boundary events the experiments harness emits before each
+// repetition. Events before the first boundary form run 0 if any exist; the
+// boundary notes themselves lead their run's slice. A stream without notes
+// is a single run.
+func SplitRuns(events []Event) [][]Event {
+	var runs [][]Event
+	start := 0
+	for i, e := range events {
+		if e.Kind != KindNote {
+			continue
+		}
+		if i > start {
+			runs = append(runs, events[start:i:i])
+		}
+		start = i
+	}
+	if start < len(events) {
+		runs = append(runs, events[start:len(events):len(events)])
+	}
+	return runs
+}
+
+// Interval is one isolation span of a node: the round its activity bit
+// dropped to 0 and the round it was reintegrated (-1 while still isolated
+// at the end of the stream).
+type Interval struct {
+	Node     int
+	From, To int
+}
+
+// Timeline extracts each node's isolation intervals from one run's events,
+// ordered by isolation round then node. Only KindIsolation and
+// KindReintegration events contribute; every other kind is ignored.
+func Timeline(events []Event) []Interval {
+	var out []Interval
+	open := map[int]int{} // subject -> index into out of its open interval
+	for _, e := range events {
+		switch e.Kind {
+		case KindIsolation:
+			if _, ok := open[e.Subject]; ok {
+				continue // duplicate observer announcements of the same span
+			}
+			open[e.Subject] = len(out)
+			out = append(out, Interval{Node: e.Subject, From: e.Round, To: -1})
+		case KindReintegration:
+			if i, ok := open[e.Subject]; ok {
+				out[i].To = e.Round
+				delete(open, e.Subject)
+			}
+		}
+	}
+	return out
+}
+
+// Explain returns the causal chain ending in subject's isolation: the
+// isolation event itself, preceded (in stream order) by the penalty
+// trajectory that reached the threshold — every KindPenalty event for the
+// subject since its counter last left zero — and the accusations raised
+// against it in that window. round pins a specific isolation (the round the
+// activity bit dropped); pass round < 0 for the subject's last isolation in
+// the stream.
+//
+// Multi-run streams must be split with SplitRuns first: rounds restart at
+// every repetition boundary, so a chain only means something within one run.
+func Explain(events []Event, subject, round int) ([]Event, error) {
+	iso := -1
+	for i, e := range events {
+		if e.Kind != KindIsolation || e.Subject != subject {
+			continue
+		}
+		if round >= 0 && e.Round != round {
+			continue
+		}
+		iso = i
+		if round >= 0 {
+			break
+		}
+	}
+	if iso < 0 {
+		if round >= 0 {
+			return nil, fmt.Errorf("trace: no isolation of node %d at round %d in the stream", subject, round)
+		}
+		return nil, fmt.Errorf("trace: no isolation of node %d in the stream", subject)
+	}
+	// Walk back to where the trajectory left zero: the event after the last
+	// KindPenalty with a zero counter (a reward reset), or the stream start.
+	start := 0
+	for i := iso - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Kind == KindPenalty && e.Subject == subject && e.Penalty == 0 {
+			start = i + 1
+			break
+		}
+	}
+	var chain []Event
+	for _, e := range events[start:iso] {
+		if e.Subject != subject {
+			continue
+		}
+		switch e.Kind {
+		case KindPenalty, KindAccusation:
+			chain = append(chain, e)
+		}
+	}
+	return append(chain, events[iso]), nil
+}
+
+// FirstDivergence compares two event streams and reports the index of the
+// first position where they differ (a missing event counts as a
+// difference, so streams that are strict prefixes of each other diverge at
+// the shorter one's length). It returns -1 when the streams are identical.
+func FirstDivergence(a, b []Event) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// chainFixture is one run's worth of causal events: node 3 accrues penalties
+// from round 10, pays one off at round 14 (reward reset), accrues again and
+// is isolated at round 20, then reintegrated at round 30. Node 2 has an
+// unrelated open-ended isolation at round 25.
+func chainFixture() []Event {
+	return []Event{
+		{Round: 0, Kind: KindNote, Detail: "class run 0"},
+		{Round: 9, Kind: KindAccusation, Node: 1, Subject: 3, Evidence: EvidenceVerdict},
+		{Round: 10, Kind: KindPenalty, Node: 1, Subject: 3, Penalty: 1, Threshold: 3},
+		{Round: 12, Kind: KindPenalty, Node: 1, Subject: 3, Penalty: 2, Threshold: 3},
+		{Round: 14, Kind: KindPenalty, Node: 1, Subject: 3, Penalty: 0, Threshold: 3, Detail: "reward reset"},
+		{Round: 16, Kind: KindAccusation, Node: 1, Subject: 3, Evidence: EvidenceMatrix},
+		{Round: 16, Kind: KindPenalty, Node: 1, Subject: 3, Penalty: 1, Threshold: 3},
+		{Round: 18, Kind: KindPenalty, Node: 1, Subject: 3, Penalty: 3, Threshold: 3},
+		{Round: 20, Kind: KindPenalty, Node: 1, Subject: 3, Penalty: 4, Threshold: 3},
+		{Round: 20, Kind: KindIsolation, Node: 1, Subject: 3, Penalty: 4, Threshold: 3},
+		{Round: 25, Kind: KindIsolation, Node: 1, Subject: 2, Penalty: 4, Threshold: 3},
+		{Round: 30, Kind: KindReintegration, Node: 1, Subject: 3},
+	}
+}
+
+func TestExplainWalksBackToLastReset(t *testing.T) {
+	chain, err := Explain(chainFixture(), 3, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chain must start after the round-14 reward reset: the accusation
+	// and the three penalty increments that actually drove the isolation,
+	// then the isolation itself. The earlier (paid-off) trajectory and node
+	// 2's events must not appear.
+	wantRounds := []int{16, 16, 18, 20, 20}
+	if len(chain) != len(wantRounds) {
+		t.Fatalf("chain has %d events, want %d: %v", len(chain), len(wantRounds), chain)
+	}
+	for i, e := range chain {
+		if e.Round != wantRounds[i] || e.Subject != 3 {
+			t.Fatalf("chain[%d] = %+v, want round %d subject 3", i, e, wantRounds[i])
+		}
+	}
+	if chain[0].Kind != KindAccusation || chain[0].Evidence != EvidenceMatrix {
+		t.Fatalf("chain must open with the matrix-disagreement accusation, got %+v", chain[0])
+	}
+	last := chain[len(chain)-1]
+	if last.Kind != KindIsolation || last.Penalty != 4 || last.Threshold != 3 {
+		t.Fatalf("chain must end in the isolation with its counter state, got %+v", last)
+	}
+}
+
+func TestExplainDefaultsToLastIsolation(t *testing.T) {
+	chain, err := Explain(chainFixture(), 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain[len(chain)-1]; got.Kind != KindIsolation || got.Round != 25 {
+		t.Fatalf("want node 2's round-25 isolation, got %+v", got)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if _, err := Explain(chainFixture(), 4, -1); err == nil {
+		t.Fatalf("want an error for a never-isolated node")
+	}
+	if _, err := Explain(chainFixture(), 3, 21); err == nil {
+		t.Fatalf("want an error for a round with no isolation")
+	}
+}
+
+func TestTimelinePairsIsolationWithReintegration(t *testing.T) {
+	tl := Timeline(chainFixture())
+	want := []Interval{{Node: 3, From: 20, To: 30}, {Node: 2, From: 25, To: -1}}
+	if len(tl) != len(want) {
+		t.Fatalf("timeline = %v, want %v", tl, want)
+	}
+	for i := range want {
+		if tl[i] != want[i] {
+			t.Fatalf("timeline[%d] = %+v, want %+v", i, tl[i], want[i])
+		}
+	}
+}
+
+func TestTimelineIgnoresDuplicateObserverAnnouncements(t *testing.T) {
+	events := []Event{
+		{Round: 5, Kind: KindIsolation, Node: 1, Subject: 2},
+		{Round: 5, Kind: KindIsolation, Node: 3, Subject: 2},
+		{Round: 9, Kind: KindReintegration, Node: 1, Subject: 2},
+	}
+	tl := Timeline(events)
+	if len(tl) != 1 || tl[0] != (Interval{Node: 2, From: 5, To: 9}) {
+		t.Fatalf("timeline = %v, want one 5..9 interval for node 2", tl)
+	}
+}
+
+func TestSplitRunsOnNoteBoundaries(t *testing.T) {
+	var events []Event
+	for run := 0; run < 3; run++ {
+		events = append(events, Event{Kind: KindNote, Detail: fmt.Sprintf("class run %d", run)})
+		for r := 0; r < 2+run; r++ {
+			events = append(events, Event{Round: r, Kind: KindJobRun, Node: 1})
+		}
+	}
+	runs := SplitRuns(events)
+	if len(runs) != 3 {
+		t.Fatalf("split into %d runs, want 3", len(runs))
+	}
+	for i, run := range runs {
+		if run[0].Kind != KindNote {
+			t.Fatalf("run %d does not start at its boundary note: %+v", i, run[0])
+		}
+		if want := 1 + 2 + i; len(run) != want {
+			t.Fatalf("run %d has %d events, want %d", i, len(run), want)
+		}
+	}
+	// Streams without boundaries are a single run; leading events before the
+	// first note form their own run.
+	if runs := SplitRuns(events[1:3]); len(runs) != 1 || len(runs[0]) != 2 {
+		t.Fatalf("note-less stream split to %v", runs)
+	}
+	lead := append([]Event{{Round: 0, Kind: KindJobRun}}, events...)
+	if runs := SplitRuns(lead); len(runs) != 4 || len(runs[0]) != 1 {
+		t.Fatalf("leading events must form their own run, got %d runs", len(runs))
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	a := chainFixture()
+	b := chainFixture()
+	if got := FirstDivergence(a, b); got != -1 {
+		t.Fatalf("identical streams diverge at %d, want -1", got)
+	}
+	b[5].Penalty++
+	if got := FirstDivergence(a, b); got != 5 {
+		t.Fatalf("diverge at %d, want 5", got)
+	}
+	if got := FirstDivergence(a, a[:4]); got != 4 {
+		t.Fatalf("prefix streams diverge at %d, want 4", got)
+	}
+}

@@ -9,13 +9,20 @@ import (
 	"time"
 )
 
+// SchemaVersion is the JSONL wire schema this package writes. Version 1 was
+// the original wire form without a version field (at_ns/round/kind/
+// node/subject/detail only); version 2 added the explicit "v" field and the
+// typed causal fields (penalty, threshold, evidence). Readers accept both:
+// a line without a "v" field is a legacy version-1 event.
+const SchemaVersion = 2
+
 // kindFromName maps the lowercase kind names back to their Kind values. It
 // is built with an explicit loop over the closed Kind range rather than by
 // ranging over kindNames, so the construction order is fixed (this package
 // is lint-checked as order-sensitive).
 var kindFromName = func() map[string]Kind {
-	m := make(map[string]Kind, int(KindNote))
-	for k := KindTransmit; k <= KindNote; k++ {
+	m := make(map[string]Kind, int(maxKind))
+	for k := KindTransmit; k <= maxKind; k++ {
 		m[k.String()] = k
 	}
 	return m
@@ -39,23 +46,31 @@ func ParseKind(s string) (Kind, error) {
 // sort and diff numerically, and the kind travels by name so the stream
 // stays readable and stable if the Kind enum is reordered.
 type eventJSON struct {
-	AtNS    int64  `json:"at_ns"`
-	Round   int    `json:"round"`
-	Kind    string `json:"kind"`
-	Node    int    `json:"node,omitempty"`
-	Subject int    `json:"subject,omitempty"`
-	Detail  string `json:"detail,omitempty"`
+	V         int    `json:"v,omitempty"`
+	AtNS      int64  `json:"at_ns"`
+	Round     int    `json:"round"`
+	Kind      string `json:"kind"`
+	Node      int    `json:"node,omitempty"`
+	Subject   int    `json:"subject,omitempty"`
+	Penalty   int64  `json:"penalty,omitempty"`
+	Threshold int64  `json:"threshold,omitempty"`
+	Evidence  string `json:"evidence,omitempty"`
+	Detail    string `json:"detail,omitempty"`
 }
 
 // WriteJSONL encodes one event as a single JSON line on w.
 func WriteJSONL(w io.Writer, e Event) error {
 	b, err := json.Marshal(eventJSON{
-		AtNS:    int64(e.At),
-		Round:   e.Round,
-		Kind:    e.Kind.String(),
-		Node:    e.Node,
-		Subject: e.Subject,
-		Detail:  e.Detail,
+		V:         SchemaVersion,
+		AtNS:      int64(e.At),
+		Round:     e.Round,
+		Kind:      e.Kind.String(),
+		Node:      e.Node,
+		Subject:   e.Subject,
+		Penalty:   e.Penalty,
+		Threshold: e.Threshold,
+		Evidence:  e.Evidence,
+		Detail:    e.Detail,
 	})
 	if err != nil {
 		return err
@@ -66,7 +81,9 @@ func WriteJSONL(w io.Writer, e Event) error {
 }
 
 // ReadJSONL decodes a stream of JSONL-encoded events, one per line. Blank
-// lines are skipped; the first malformed line aborts with its line number.
+// lines are skipped; the first malformed line aborts with its line number,
+// as does a line carrying a schema version this reader does not understand
+// (version-less lines are legacy version-1 streams and stay readable).
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -82,17 +99,26 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if err := json.Unmarshal(raw, &ej); err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
+		// 0 is a version-less legacy line (schema 1); anything else must be
+		// a version this reader knows, so that events written by a newer
+		// schema fail loudly instead of decoding with fields dropped.
+		if ej.V != 0 && (ej.V < 1 || ej.V > SchemaVersion) {
+			return nil, fmt.Errorf("trace: line %d: unsupported schema version %d (this reader understands 1..%d)", line, ej.V, SchemaVersion)
+		}
 		k, err := ParseKind(ej.Kind)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
 		out = append(out, Event{
-			At:      time.Duration(ej.AtNS),
-			Round:   ej.Round,
-			Kind:    k,
-			Node:    ej.Node,
-			Subject: ej.Subject,
-			Detail:  ej.Detail,
+			At:        time.Duration(ej.AtNS),
+			Round:     ej.Round,
+			Kind:      k,
+			Node:      ej.Node,
+			Subject:   ej.Subject,
+			Penalty:   ej.Penalty,
+			Threshold: ej.Threshold,
+			Evidence:  ej.Evidence,
+			Detail:    ej.Detail,
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -104,15 +130,19 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 // JSONLWriter is a Sink that streams every event to an io.Writer as JSON
 // lines. It is safe for concurrent use, so the goroutine-per-node runtime
 // can share one. The first write error is retained and reported by Err;
-// subsequent events are dropped silently rather than interleaving partial
-// lines into a broken stream.
+// subsequent events are dropped (and counted — see Dropped) rather than
+// interleaving partial lines into a broken stream.
 type JSONLWriter struct {
-	mu  sync.Mutex
-	w   io.Writer
-	err error
+	mu      sync.Mutex
+	w       io.Writer
+	err     error
+	dropped int64
 }
 
-var _ Sink = (*JSONLWriter)(nil)
+var (
+	_ Sink        = (*JSONLWriter)(nil)
+	_ DropCounter = (*JSONLWriter)(nil)
+)
 
 // NewJSONLWriter returns a JSONL sink writing to w.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
@@ -124,6 +154,7 @@ func (j *JSONLWriter) Record(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
+		j.dropped++
 		return
 	}
 	j.err = WriteJSONL(j.w, e)
@@ -134,4 +165,12 @@ func (j *JSONLWriter) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Dropped reports how many events were discarded after the first write
+// error (the event whose write failed is not counted — it is the error).
+func (j *JSONLWriter) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }

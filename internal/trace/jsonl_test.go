@@ -80,14 +80,17 @@ func TestTeeFansOutToEverySink(t *testing.T) {
 // out-of-range kind) and decodes them back unchanged.
 func TestJSONLRoundTripEveryKind(t *testing.T) {
 	var events []Event
-	for k := KindTransmit; k <= KindNote; k++ {
+	for k := KindTransmit; k <= maxKind; k++ {
 		events = append(events, Event{
-			At:      time.Duration(k) * time.Millisecond,
-			Round:   int(k),
-			Kind:    k,
-			Node:    1 + int(k)%3,
-			Subject: int(k) % 4,
-			Detail:  "detail for " + k.String(),
+			At:        time.Duration(k) * time.Millisecond,
+			Round:     int(k),
+			Kind:      k,
+			Node:      1 + int(k)%3,
+			Subject:   int(k) % 4,
+			Penalty:   int64(k) % 5,
+			Threshold: int64(k) % 7,
+			Evidence:  map[bool]string{true: EvidenceVerdict, false: ""}[int(k)%2 == 0],
+			Detail:    "detail for " + k.String(),
 		})
 	}
 	events = append(events, Event{Kind: Kind(42), Round: 99})
@@ -129,16 +132,71 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 }
 
 // TestJSONLWriterRetainsFirstError: a failing writer surfaces via Err and
-// suppresses further writes.
+// suppresses further writes, counting each as dropped.
 func TestJSONLWriterRetainsFirstError(t *testing.T) {
 	w := NewJSONLWriter(failWriter{})
 	w.Record(Event{Kind: KindNote})
 	if w.Err() == nil {
 		t.Fatalf("want retained write error")
 	}
+	if got := w.Dropped(); got != 0 {
+		t.Fatalf("the failing event is the error, not a drop; Dropped = %d", got)
+	}
 	w.Record(Event{Kind: KindNote}) // must not panic or clear the error
+	w.Record(Event{Kind: KindNote})
 	if w.Err() == nil {
 		t.Fatalf("error was cleared by a later Record")
+	}
+	if got := w.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2 (events after the first error)", got)
+	}
+}
+
+// TestReadJSONLSchemaVersions: version-less lines are legacy schema-1 events
+// and decode fine; a line claiming a version beyond SchemaVersion aborts with
+// a clear, line-numbered error instead of best-effort decoding.
+func TestReadJSONLSchemaVersions(t *testing.T) {
+	legacy := `{"at_ns":2500000,"round":3,"kind":"isolation","node":1,"subject":2,"detail":"old stream"}` + "\n"
+	events, err := ReadJSONL(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy version-less line must decode, got %v", err)
+	}
+	if len(events) != 1 || events[0].Kind != KindIsolation || events[0].Subject != 2 {
+		t.Fatalf("legacy line decoded to %+v", events)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, Event{Kind: KindNote}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(`{"v":99,"at_ns":0,"round":0,"kind":"note"}` + "\n")
+	_, err = ReadJSONL(&buf)
+	if err == nil {
+		t.Fatalf("want an unsupported-schema error")
+	}
+	for _, want := range []string{"line 2", "unsupported schema version 99"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"v":-1,"kind":"note"}` + "\n")); err == nil {
+		t.Fatalf("want an unsupported-schema error for a negative version")
+	}
+}
+
+// TestWriteJSONLStampsSchemaVersion: every written line carries the current
+// schema version so future readers can dispatch on it.
+func TestWriteJSONLStampsSchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, Event{Kind: KindAccusation, Evidence: EvidenceMatrix}); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, `"v":2`) {
+		t.Fatalf("written line %q lacks the schema version stamp", line)
+	}
+	if !strings.Contains(line, `"evidence":"matrix-disagreement"`) {
+		t.Fatalf("written line %q lacks the evidence field", line)
 	}
 }
 

@@ -25,7 +25,17 @@ const (
 	KindReintegration
 	KindViewChange
 	KindNote
+	// KindAccusation records a minority accusation raised by Node against
+	// Subject (membership mode); Evidence classifies what the accused row
+	// conflicted with.
+	KindAccusation
+	// KindShardHealth records a fleet shard-summary health transition
+	// (Subject is the 1-based shard index).
+	KindShardHealth
 )
+
+// maxKind is the highest defined Kind; keep it on the last enum entry.
+const maxKind = KindShardHealth
 
 var kindNames = map[Kind]string{
 	KindTransmit:      "transmit",
@@ -36,6 +46,8 @@ var kindNames = map[Kind]string{
 	KindReintegration: "reintegration",
 	KindViewChange:    "view",
 	KindNote:          "note",
+	KindAccusation:    "accusation",
+	KindShardHealth:   "shard-health",
 }
 
 // String returns the lowercase name of the kind.
@@ -60,6 +72,18 @@ type Event struct {
 	// Subject is the node the event is about, when different from Node
 	// (e.g. the diagnosed or isolated node); 0 when not applicable.
 	Subject int
+	// Penalty and Threshold carry the Alg. 2 counter state for causal events
+	// (KindPenalty, KindIsolation, KindReintegration): Subject's penalty
+	// counter after the update and the isolation threshold P it is measured
+	// against. Both zero when not applicable.
+	Penalty   int64
+	Threshold int64
+	// Evidence classifies the cause of a causal event: for KindAccusation,
+	// "hmaj-verdict" when the accused row holds a definite opinion opposite
+	// the H-maj verdict, "matrix-disagreement" when it is only missing
+	// opinions (ε) where the vector holds a verdict. Empty when not
+	// applicable.
+	Evidence string
 	// Detail is a short human-readable description.
 	Detail string
 }
@@ -74,6 +98,14 @@ func (e Event) String() string {
 	if e.Subject != 0 && e.Subject != e.Node {
 		fmt.Fprintf(&b, "->n%d", e.Subject)
 	}
+	if e.Threshold != 0 {
+		fmt.Fprintf(&b, " p=%d/%d", e.Penalty, e.Threshold)
+	} else if e.Penalty != 0 {
+		fmt.Fprintf(&b, " p=%d", e.Penalty)
+	}
+	if e.Evidence != "" {
+		fmt.Fprintf(&b, " [%s]", e.Evidence)
+	}
 	if e.Detail != "" {
 		b.WriteString(" ")
 		b.WriteString(e.Detail)
@@ -85,6 +117,16 @@ func (e Event) String() string {
 type Sink interface {
 	Record(Event)
 }
+
+// DropCounter is implemented by sinks that can lose events (a bounded
+// Recorder evicting its oldest entries, a JSONLWriter after a write error).
+// Callers probe it after a run to warn about truncated traces.
+type DropCounter interface {
+	// Dropped reports how many recorded events the sink has discarded.
+	Dropped() int64
+}
+
+var _ DropCounter = (*Recorder)(nil)
 
 // Recorder is a Sink that retains events in memory, optionally bounded.
 // The zero value is unbounded and ready to use. Recorder is safe for

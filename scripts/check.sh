@@ -39,7 +39,7 @@ check_metrics_determinism() {
 
 check_fleet_determinism() {
     go test -race -cpu=1,4 ./internal/fleet/ \
-        -run 'TestFleetWorkerCountInvariance|TestFleetShardOrderInvariance|TestFleetMonolithicEquivalence'
+        -run 'TestFleetWorkerCountInvariance|TestFleetShardOrderInvariance|TestFleetMonolithicEquivalence|TestFleetCausalWorkerInvariance'
     go test -race -cpu=1,4 ./internal/experiments/ -run TestFleetCampaignWorkerCountInvariance
 }
 
@@ -55,16 +55,16 @@ step "go vet" go vet ./...
 step "go build" go build ./...
 step "go test" go test ./...
 step "go test -race (concurrent packages)" \
-    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/... ./internal/fleet/... ./internal/splitting/...
+    go test -race ./internal/cluster/... ./internal/sim/... ./internal/campaign/... ./internal/fleet/... ./internal/splitting/... ./internal/trace/...
 step "go test -race -cpu=1,4 (campaign determinism)" \
     go test -race -cpu=1,4 ./internal/experiments/ -run TestCampaignWorkerCountInvariance
 step "go test -race -cpu=1,4 (metrics determinism)" check_metrics_determinism
 step "go test -race -cpu=1,4 (cluster reuse equivalence)" \
     go test -race -cpu=1,4 ./internal/sim/ -run TestClusterReuseEquivalence
 step "go test -race -cpu=1,4 (packed/scalar step equivalence)" \
-    go test -race -cpu=1,4 ./internal/core/ -run TestPackedScalarStepEquivalence
+    go test -race -cpu=1,4 ./internal/core/ -run 'TestPackedScalarStepEquivalence|TestPackedScalarTraceEquivalence'
 step "go test -race -cpu=1,4 (batched campaign determinism)" \
-    go test -race -cpu=1,4 ./internal/experiments/ -run 'TestBatchedWorkerCountInvariance|TestBatchedCampaignEquivalence|TestScaleResilienceBatchedEquivalence'
+    go test -race -cpu=1,4 ./internal/experiments/ -run 'TestBatchedWorkerCountInvariance|TestBatchedCampaignEquivalence|TestScaleResilienceBatchedEquivalence|TestBatchedTraceEquivalence'
 step "go test -race -cpu=1,4 (fleet determinism)" check_fleet_determinism
 step "go test -race -cpu=1,4 (checkpoint + splitting determinism)" check_checkpoint_determinism
 step "go test (allocation ceilings)" \
